@@ -1,0 +1,38 @@
+//! Chord routing micro-benchmarks: single lookup latency across ring
+//! sizes, and ring construction cost.
+
+use ars_chord::{Id, Ring};
+use ars_common::DetRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    for &n in &[100usize, 1000, 5000] {
+        let ring = Ring::from_seed(n, 42);
+        let ids = ring.node_ids().to_vec();
+        let mut rng = DetRng::new(7);
+        group.bench_with_input(BenchmarkId::new("lookup", n), &ring, |b, ring| {
+            b.iter(|| {
+                let from = ids[rng.gen_index(ids.len())];
+                let key = Id(rng.next_u32());
+                black_box(ring.lookup(from, key))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_ring_build");
+    group.sample_size(10);
+    for &n in &[1000usize, 5000] {
+        group.bench_with_input(BenchmarkId::new("from_seed", n), &n, |b, &n| {
+            b.iter(|| black_box(Ring::from_seed(n, 42)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_ring_build);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation benches for the two evaluator optimizations (DESIGN.md §6):
+//!
+//! 1. naive per-bit GRP network vs compiled table-driven bit permutation;
+//! 2. linear min-hash by enumeration vs the closed-form `O(log p)`
+//!    interval minimum.
+
+use ars_common::DetRng;
+use ars_lsh::{ApproxMinWisePerm, LinearPerm, MinWisePerm, RangeSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bitperm_ablation(c: &mut Criterion) {
+    let mut rng = DetRng::new(7);
+    let full = MinWisePerm::random(&mut rng);
+    let full_c = full.compile();
+    let approx = ApproxMinWisePerm::random(&mut rng);
+    let approx_c = approx.compile();
+    let range = RangeSet::interval(0, 999);
+
+    let mut group = c.benchmark_group("bitperm_ablation_1000_values");
+    group.bench_function("minwise_naive", |b| {
+        b.iter(|| black_box(full.min_hash(black_box(&range))))
+    });
+    group.bench_function("minwise_compiled", |b| {
+        b.iter(|| {
+            let m = range.iter().map(|v| full_c.permute(v)).min().unwrap();
+            black_box(m)
+        })
+    });
+    group.bench_function("approx_naive", |b| {
+        b.iter(|| black_box(approx.min_hash(black_box(&range))))
+    });
+    group.bench_function("approx_compiled", |b| {
+        b.iter(|| {
+            let m = range.iter().map(|v| approx_c.permute(v)).min().unwrap();
+            black_box(m)
+        })
+    });
+    group.finish();
+}
+
+fn bench_linear_ablation(c: &mut Criterion) {
+    let mut rng = DetRng::new(9);
+    let p = LinearPerm::random(&mut rng);
+    let mut group = c.benchmark_group("linear_min_hash");
+    for &size in &[100u32, 10_000, 1_000_000] {
+        let range = RangeSet::interval(123, 123 + size - 1);
+        group.bench_with_input(BenchmarkId::new("enumerate", size), &range, |b, r| {
+            b.iter(|| black_box(p.min_hash_enumerate(black_box(r))))
+        });
+        group.bench_with_input(BenchmarkId::new("closed_form", size), &range, |b, r| {
+            b.iter(|| black_box(p.min_hash(black_box(r))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitperm_ablation, bench_linear_ablation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion counterpart of Fig. 5: time to min-hash a range through one
+//! function of each family, across range sizes.
+
+use ars_common::DetRng;
+use ars_lsh::{LshFamilyKind, LshFunction, RangeSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let mut rng = DetRng::new(42);
+    let mut group = c.benchmark_group("min_hash_by_family");
+    for &size in &[10u32, 100, 1000] {
+        let range = RangeSet::interval(5000, 5000 + size - 1);
+        for kind in [
+            LshFamilyKind::MinWise,
+            LshFamilyKind::ApproxMinWise,
+            LshFamilyKind::Linear,
+            LshFamilyKind::LinearClosedForm,
+        ] {
+            let f = LshFunction::random(kind, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                &range,
+                |b, r| b.iter(|| black_box(f.min_hash(black_box(r)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Whole-system query benchmarks: one §4 query (hash → 5 lookups → bucket
+//! match → cache decision) through a warm 1000-peer system, for each hash
+//! family and for the §5.3 local-index variant.
+
+use ars_core::{RangeSelectNetwork, SystemConfig};
+use ars_lsh::LshFamilyKind;
+use ars_workload::uniform_trace;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn warm_network(config: SystemConfig) -> RangeSelectNetwork {
+    let mut net = RangeSelectNetwork::new(1000, config);
+    let trace = uniform_trace(2_000, 0, 1000, 11);
+    net.run_trace(trace.queries());
+    net
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_query_warm_1000_peers");
+    group.sample_size(30);
+    let queries = uniform_trace(10_000, 0, 1000, 13);
+    for kind in [
+        LshFamilyKind::ApproxMinWise,
+        LshFamilyKind::Linear,
+        LshFamilyKind::MinWise,
+    ] {
+        let mut net = warm_network(SystemConfig::default().with_family(kind).with_seed(5));
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("family", kind.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let q = &queries.queries()[i % queries.len()];
+                i += 1;
+                black_box(net.query(q))
+            })
+        });
+    }
+    // §5.3 local index ablation.
+    let mut net = warm_network(SystemConfig::default().with_local_index(true).with_seed(5));
+    let mut i = 0usize;
+    group.bench_function("local_index_on", |b| {
+        b.iter(|| {
+            let q = &queries.queries()[i % queries.len()];
+            i += 1;
+            black_box(net.query(q))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

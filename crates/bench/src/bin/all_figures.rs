@@ -1,0 +1,37 @@
+//! Regenerate every figure of the paper in one run (Figs. 5–12), writing
+//! all CSVs under `results/`.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin all_figures`
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig5", "fig6_7", "fig8", "fig9", "fig10", "fig11", "fig12"];
+    // When invoked through cargo, the sibling binaries sit next to us.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n================ {bin} ================\n");
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fallback: go through cargo (slower but robust).
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "ars-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("\nAll figures regenerated; CSVs are under results/.");
+}

@@ -1,0 +1,103 @@
+//! Quantifying §3.1: the exact-match DHT baseline vs the paper's
+//! LSH-based approximate system, across workload shapes.
+//!
+//! The paper argues (verbally) that exact-match caching is useless for
+//! range queries because near-identical ranges hash apart. This harness
+//! measures that claim on three workloads: the §5.1 uniform trace (almost
+//! no repeats), a Zipf-popular trace (many repeats), and a clustered trace
+//! (many *near*-repeats — the regime LSH is built for).
+//!
+//! Usage: `cargo run --release -p ars-bench --bin baseline`
+
+use ars_bench::experiments::results_path;
+use ars_common::csv::{fmt_f64, CsvTable};
+use ars_core::recall::{mean_recall, pct_fully_answered};
+use ars_core::{ExactMatchNetwork, MatchMeasure, RangeSelectNetwork, SystemConfig};
+use ars_workload::{clustered_trace, uniform_trace, zipf_trace, Trace};
+
+const N_PEERS: usize = 500;
+const N_QUERIES: usize = 10_000;
+const SEED: u64 = 314;
+
+fn workloads() -> Vec<(&'static str, Trace)> {
+    vec![
+        ("uniform (§5.1)", uniform_trace(N_QUERIES, 0, 1000, SEED)),
+        (
+            "zipf (popular repeats)",
+            zipf_trace(N_QUERIES, 0, 1000, 100, 1.2, 60, SEED),
+        ),
+        (
+            "clustered (near-repeats)",
+            clustered_trace(N_QUERIES, 0, 1000, 50, 8, SEED),
+        ),
+    ]
+}
+
+fn main() {
+    let mut csv = CsvTable::new([
+        "workload",
+        "system",
+        "pct_fully_answered",
+        "mean_recall",
+        "mean_hops_per_query",
+    ]);
+    println!(
+        "{:<26} {:<26} {:>16} {:>12} {:>12}",
+        "workload", "system", "fully answered", "mean recall", "hops/query"
+    );
+    for (name, trace) in workloads() {
+        let cut = trace.len() / 5;
+
+        // §3.1 exact-match baseline.
+        let config = SystemConfig::default().with_seed(SEED);
+        let mut exact = ExactMatchNetwork::new(N_PEERS, &config);
+        let outs = exact.run_trace(trace.queries());
+        let measured = &outs[cut..];
+        let hops = exact.total_hops as f64 / exact.lookups as f64;
+        print_row(&mut csv, name, "exact-match DHT (§3.1)", measured, hops);
+
+        // The paper's system, Jaccard matching.
+        let mut approx = RangeSelectNetwork::new(N_PEERS, config.clone());
+        let outs = approx.run_trace(trace.queries());
+        let measured = &outs[cut..];
+        let s = approx.stats();
+        let hops = s.total_hops as f64 / s.queries as f64;
+        print_row(&mut csv, name, "LSH approximate (Jaccard)", measured, hops);
+
+        // And with containment matching.
+        let mut approx_c = RangeSelectNetwork::new(
+            N_PEERS,
+            config.with_matching(MatchMeasure::Containment),
+        );
+        let outs = approx_c.run_trace(trace.queries());
+        let measured = &outs[cut..];
+        let s = approx_c.stats();
+        let hops = s.total_hops as f64 / s.queries as f64;
+        print_row(&mut csv, name, "LSH approximate (containment)", measured, hops);
+        println!();
+    }
+    let path = results_path("baseline_comparison.csv");
+    csv.write_to(&path).expect("write CSV");
+    println!("wrote {}", path.display());
+}
+
+fn print_row(
+    csv: &mut CsvTable,
+    workload: &str,
+    system: &str,
+    outs: &[ars_core::QueryOutcome],
+    hops_per_query: f64,
+) {
+    let full = pct_fully_answered(outs);
+    let mean = mean_recall(outs);
+    println!(
+        "{workload:<26} {system:<26} {full:>15.1}% {mean:>12.3} {hops_per_query:>12.2}"
+    );
+    csv.push_row([
+        workload.to_string(),
+        system.to_string(),
+        fmt_f64(full),
+        fmt_f64(mean),
+        fmt_f64(hops_per_query),
+    ]);
+}

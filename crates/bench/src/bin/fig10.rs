@@ -1,0 +1,56 @@
+//! Figure 10: recall with 20% query padding vs no padding (containment
+//! matching, approximate min-wise hashing), plus an extension sweep over
+//! padding fractions (the paper's future-work "dynamically adjusting
+//! padding" question).
+//!
+//! Usage: `cargo run --release -p ars-bench --bin fig10`
+
+use ars_bench::experiments::{results_path, run_quality_experiment};
+use ars_common::csv::{fmt_f64, CsvTable};
+use ars_core::recall::{mean_recall, pct_fully_answered, recall_curve};
+use ars_core::{MatchMeasure, SystemConfig};
+
+fn main() {
+    let mut csv = CsvTable::new(["padding", "recall_threshold", "pct_queries_at_least"]);
+    println!("# Figure 10 — recall with query padding (containment matching)");
+    for padding in [0.2, 0.0] {
+        let outcomes = run_quality_experiment(
+            SystemConfig::default()
+                .with_matching(MatchMeasure::Containment)
+                .with_padding(padding),
+        );
+        let curve = recall_curve(&outcomes);
+        println!("\n## padding = {padding}");
+        println!("{:>18} {:>18}", "recall ≥", "% of queries");
+        for (t, p) in &curve {
+            println!("{t:>18.1} {p:>18.2}");
+            csv.push_row([format!("{padding}"), fmt_f64(*t), fmt_f64(*p)]);
+        }
+        println!("  fully answered: {:.1}%", pct_fully_answered(&outcomes));
+    }
+    println!("\n(paper: 20% padding lifts fully-answered queries to a little over 70%)");
+
+    // Extension: padding sweep — where does the benefit peak?
+    println!("\n# Extension — padding sweep (containment matching)");
+    println!(
+        "{:>10} {:>20} {:>14}",
+        "padding", "fully answered (%)", "mean recall"
+    );
+    let mut sweep_csv = CsvTable::new(["padding", "pct_fully_answered", "mean_recall"]);
+    for padding in [0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        let outcomes = run_quality_experiment(
+            SystemConfig::default()
+                .with_matching(MatchMeasure::Containment)
+                .with_padding(padding),
+        );
+        let full = pct_fully_answered(&outcomes);
+        let mean = mean_recall(&outcomes);
+        println!("{padding:>10.2} {full:>20.1} {mean:>14.3}");
+        sweep_csv.push_row([format!("{padding}"), fmt_f64(full), fmt_f64(mean)]);
+    }
+    let path = results_path("fig10_padding.csv");
+    csv.write_to(&path).expect("write CSV");
+    let sweep_path = results_path("fig10_padding_sweep.csv");
+    sweep_csv.write_to(&sweep_path).expect("write CSV");
+    println!("\nwrote {} and {}", path.display(), sweep_path.display());
+}

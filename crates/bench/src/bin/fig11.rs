@@ -1,0 +1,184 @@
+//! Figure 11: load balancing.
+//!
+//! * 11(a): partitions stored per node (mean, 1st/99th percentiles) as the
+//!   number of peers grows from 100 to 5000, with 50,000 stored partitions
+//!   (10,000 unique ranges × l = 5 identifiers).
+//! * 11(b): the same percentiles in a fixed 1000-node system as the number
+//!   of stored partitions grows from 35,000 to 180,000.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin fig11`
+
+use ars_bench::experiments::results_path;
+use ars_common::csv::{fmt_f64, CsvTable};
+use ars_common::Summary;
+use ars_chord::sha1::sha1_u32;
+use ars_chord::{Id, VirtualRing};
+use ars_common::DetRng;
+use ars_core::config::Placement;
+use ars_core::{RangeSelectNetwork, SystemConfig};
+use ars_lsh::{HashGroups, LshFamilyKind};
+use ars_workload::uniform_trace;
+
+/// Store `unique` distinct ranges (each placed under its l identifiers).
+fn populate(net: &mut RangeSelectNetwork, unique: usize, seed: u64) {
+    // Draw until `unique` distinct ranges have been stored. Domain is
+    // [0, 1000] per §5.1.
+    let mut stored = std::collections::BTreeSet::new();
+    let mut batch = 0u64;
+    while stored.len() < unique {
+        let trace = uniform_trace(unique, 0, 1000, seed ^ (batch << 32));
+        for q in trace.queries() {
+            if stored.len() >= unique {
+                break;
+            }
+            let key = (q.min_value().unwrap(), q.max_value().unwrap());
+            if stored.insert(key) {
+                net.store_partition(q);
+            }
+        }
+        batch += 1;
+    }
+}
+
+fn summarize(net: &RangeSelectNetwork) -> Summary {
+    Summary::from_counts(net.load_distribution())
+}
+
+fn main() {
+    // ---- Fig 11(a): vary peers, fixed 50k placements. --------------------
+    println!("# Figure 11(a) — partitions per node vs number of peers (50,000 placements)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "peers", "mean", "p01", "p99", "max"
+    );
+    let mut csv_a = CsvTable::new(["peers", "mean", "p01", "p99", "max"]);
+    for n_peers in [100usize, 250, 500, 1000, 2500, 5000] {
+        let mut net =
+            RangeSelectNetwork::new(n_peers, SystemConfig::default().with_seed(1101));
+        populate(&mut net, 10_000, 7);
+        let s = summarize(&net);
+        println!(
+            "{n_peers:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            s.mean, s.p01, s.p99, s.max
+        );
+        csv_a.push_row([
+            n_peers.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.p01),
+            fmt_f64(s.p99),
+            fmt_f64(s.max),
+        ]);
+    }
+    let path_a = results_path("fig11a_load_vs_peers.csv");
+    csv_a.write_to(&path_a).expect("write CSV");
+
+    // ---- Fig 11(b): fixed 1000 peers, vary stored partitions. ------------
+    println!("\n# Figure 11(b) — partitions per node in a 1000-node system vs stored partitions");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10}",
+        "partitions", "mean", "p01", "p99", "max"
+    );
+    let mut csv_b = CsvTable::new(["partitions_x1000", "mean", "p01", "p99", "max"]);
+    for unique in [7_000usize, 12_000, 18_000, 24_000, 30_000, 36_000] {
+        let mut net = RangeSelectNetwork::new(1000, SystemConfig::default().with_seed(1102));
+        populate(&mut net, unique, 9);
+        let total = net.total_partitions();
+        let s = summarize(&net);
+        println!(
+            "{total:>12} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            s.mean, s.p01, s.p99, s.max
+        );
+        csv_b.push_row([
+            format!("{}", total / 1000),
+            fmt_f64(s.mean),
+            fmt_f64(s.p01),
+            fmt_f64(s.p99),
+            fmt_f64(s.max),
+        ]);
+    }
+    let path_b = results_path("fig11b_load_vs_partitions.csv");
+    csv_b.write_to(&path_b).expect("write CSV");
+
+    // ---- Ablation: direct identifier placement (no key hashing). ---------
+    // Min-hash identifiers concentrate near the low end of the 32-bit
+    // space, so placing them directly on the ring collapses the load onto
+    // a handful of peers — the reason the system hashes keys before
+    // placement (see DESIGN.md / EXPERIMENTS.md).
+    println!("\n# Ablation — direct identifier placement, 1000 peers, 50,000 placements");
+    let mut net = RangeSelectNetwork::new(
+        1000,
+        SystemConfig::default()
+            .with_placement(Placement::Direct)
+            .with_seed(1103),
+    );
+    populate(&mut net, 10_000, 7);
+    let s = summarize(&net);
+    println!(
+        "{:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}   (uniformized: see Fig 11a row for 1000 peers)",
+        1000, s.mean, s.p01, s.p99, s.max
+    );
+    let mut csv_c = CsvTable::new(["placement", "mean", "p01", "p99", "max"]);
+    csv_c.push_row([
+        "direct".to_string(),
+        fmt_f64(s.mean),
+        fmt_f64(s.p01),
+        fmt_f64(s.p99),
+        fmt_f64(s.max),
+    ]);
+    let path_c = results_path("fig11_placement_ablation.csv");
+    csv_c.write_to(&path_c).expect("write CSV");
+
+    // ---- Extension: virtual nodes (Chord's load-balance refinement). -----
+    println!("\n# Extension — virtual nodes per peer (1000 physical peers, 50,000 placements)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "vnodes", "mean", "p01", "p99", "p99/mean"
+    );
+    // The same 50k placement keys the main experiment uses: identifiers of
+    // 10k unique ranges × l groups, uniformized.
+    let mut grp_rng = DetRng::new(0xF19);
+    let groups = HashGroups::generate(LshFamilyKind::ApproxMinWise, 20, 5, &mut grp_rng);
+    let mut keys: Vec<Id> = Vec::with_capacity(50_000);
+    let mut seen = std::collections::BTreeSet::new();
+    let trace = uniform_trace(40_000, 0, 1000, 7);
+    for q in trace.queries() {
+        if seen.len() >= 10_000 {
+            break;
+        }
+        let k = (q.min_value().unwrap(), q.max_value().unwrap());
+        if seen.insert(k) {
+            for ident in groups.identifiers(q) {
+                keys.push(Id(sha1_u32(&ident.to_be_bytes())));
+            }
+        }
+    }
+    let mut csv_d = CsvTable::new(["vnodes", "mean", "p01", "p99", "p99_over_mean"]);
+    for v in [1usize, 2, 4, 8, 16] {
+        let vr = VirtualRing::from_seed(1000, v, 0xF20);
+        let loads = vr.load_of_keys(keys.iter().copied());
+        let s = Summary::from_counts(loads);
+        println!(
+            "{v:>8} {:>10.1} {:>10.1} {:>10.1} {:>12.2}",
+            s.mean,
+            s.p01,
+            s.p99,
+            s.p99 / s.mean
+        );
+        csv_d.push_row([
+            v.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.p01),
+            fmt_f64(s.p99),
+            fmt_f64(s.p99 / s.mean),
+        ]);
+    }
+    let path_d = results_path("fig11_virtual_nodes.csv");
+    csv_d.write_to(&path_d).expect("write CSV");
+    println!(
+        "\nwrote {}, {}, {} and {}",
+        path_a.display(),
+        path_b.display(),
+        path_c.display(),
+        path_d.display()
+    );
+}

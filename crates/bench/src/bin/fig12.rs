@@ -1,0 +1,69 @@
+//! Figure 12: lookup path lengths.
+//!
+//! * 12(a): mean and 1st/99th percentile overlay hops per identifier
+//!   lookup as the number of peers grows from 100 to 5000 (system storing
+//!   50,000 partitions).
+//! * 12(b): probability distribution of path length in a 1000-node
+//!   network.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin fig12`
+
+use ars_bench::experiments::results_path;
+use ars_common::csv::{fmt_f64, CsvTable};
+use ars_common::stats::discrete_pdf;
+use ars_common::Summary;
+use ars_core::{RangeSelectNetwork, SystemConfig};
+use ars_workload::uniform_trace;
+
+/// Populate with 10k unique ranges, then run 2,000 queries and collect
+/// every identifier-lookup hop count.
+fn hop_samples(n_peers: usize, seed: u64) -> Vec<usize> {
+    let mut net = RangeSelectNetwork::new(n_peers, SystemConfig::default().with_seed(seed));
+    let store = uniform_trace(10_000, 0, 1000, 7);
+    for q in store.queries() {
+        net.store_partition(q);
+    }
+    let queries = uniform_trace(2_000, 0, 1000, 8);
+    let outs = net.run_trace(queries.queries());
+    outs.into_iter().flat_map(|o| o.hops).collect()
+}
+
+fn main() {
+    println!("# Figure 12(a) — lookup path length vs number of peers");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>14}",
+        "peers", "mean", "p01", "p99", "0.5*log2(N)"
+    );
+    let mut csv_a = CsvTable::new(["peers", "mean", "p01", "p99", "half_log2_n"]);
+    for n_peers in [100usize, 250, 500, 1000, 2500, 5000] {
+        let hops = hop_samples(n_peers, 1201);
+        let s = Summary::from_counts(hops.iter().copied());
+        let expect = 0.5 * (n_peers as f64).log2();
+        println!(
+            "{n_peers:>8} {:>8.2} {:>8.1} {:>8.1} {expect:>14.2}",
+            s.mean, s.p01, s.p99
+        );
+        csv_a.push_row([
+            n_peers.to_string(),
+            fmt_f64(s.mean),
+            fmt_f64(s.p01),
+            fmt_f64(s.p99),
+            fmt_f64(expect),
+        ]);
+    }
+    let path_a = results_path("fig12a_path_length_vs_peers.csv");
+    csv_a.write_to(&path_a).expect("write CSV");
+
+    println!("\n# Figure 12(b) — PDF of path length, 1000-node network");
+    println!("{:>6} {:>12}", "hops", "probability");
+    let hops = hop_samples(1000, 1202);
+    let pdf = discrete_pdf(&hops);
+    let mut csv_b = CsvTable::new(["hops", "probability"]);
+    for (h, p) in &pdf {
+        println!("{h:>6} {p:>12.4}");
+        csv_b.push_row([h.to_string(), fmt_f64(*p)]);
+    }
+    let path_b = results_path("fig12b_path_length_pdf.csv");
+    csv_b.write_to(&path_b).expect("write CSV");
+    println!("\nwrote {} and {}", path_a.display(), path_b.display());
+}

@@ -1,0 +1,43 @@
+//! Figures 6(a), 6(b) and 7: histograms of the similarity of the matched
+//! partition for the three hash families under the §5.1 workload
+//! (10,000 uniform ranges on `[0, 1000]`, cache-on-miss, first 20% dropped).
+//!
+//! Usage: `cargo run --release -p ars-bench --bin fig6_7`
+
+use ars_bench::experiments::{results_path, run_quality_experiment};
+use ars_common::csv::{fmt_f64, CsvTable};
+use ars_core::recall::similarity_histogram;
+use ars_core::SystemConfig;
+use ars_lsh::LshFamilyKind;
+
+fn main() {
+    let mut csv = CsvTable::new(["family", "bin_lo", "bin_hi", "pct_of_queries"]);
+    for (figure, kind) in [
+        ("6(a)", LshFamilyKind::MinWise),
+        ("6(b)", LshFamilyKind::ApproxMinWise),
+        ("7 [wide modulus]", LshFamilyKind::Linear),
+        ("7 [domain modulus]", LshFamilyKind::LinearDomain),
+    ] {
+        let outcomes = run_quality_experiment(SystemConfig::default().with_family(kind));
+        let hist = similarity_histogram(&outcomes);
+        let pct = hist.percentages();
+        println!("\n# Figure {figure} — {kind}: similarity of matched partition");
+        println!("{:>12} {:>18}", "similarity", "% of queries");
+        for (i, p) in pct.iter().enumerate() {
+            let (lo, hi) = hist.bin_edges(i);
+            println!("{:>5.1}-{:<5.1} {:>18.2}", lo, hi, p);
+            csv.push_row([
+                kind.name().to_string(),
+                fmt_f64(lo),
+                fmt_f64(hi),
+                fmt_f64(*p),
+            ]);
+        }
+        let top = pct[9];
+        let unmatched = pct[0];
+        println!("  [0.9,1.0] bin: {top:.1}%   [0,0.1) bin (incl. no match): {unmatched:.1}%");
+    }
+    let path = results_path("fig6_7_similarity_histograms.csv");
+    csv.write_to(&path).expect("write CSV");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,31 @@
+//! Properties of the §5.1 workload, for EXPERIMENTS.md: the paper reports
+//! "10,000 integer ranges with integers in 0 and 1000 … only 0.2%
+//! repetitions"; this prints what our seeded regeneration actually
+//! contains.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin workload_stats`
+
+use ars_bench::experiments::paper_trace;
+use ars_workload::{clustered_trace, zipf_trace};
+
+fn main() {
+    let t = paper_trace();
+    println!("paper trace (uniform endpoints on [0, 1000], seed fixed):");
+    println!("  queries:          {}", t.len());
+    println!("  distinct queries: {}", t.distinct());
+    println!(
+        "  repetition rate:  {:.2}% (paper: ~0.2%)",
+        100.0 * t.repetition_rate()
+    );
+    println!("  mean range size:  {:.1} values", t.mean_size());
+
+    let z = zipf_trace(10_000, 0, 1000, 100, 1.2, 60, 7);
+    println!("\nzipf trace (100 hotspots, s = 1.2, widths ≤ 60):");
+    println!("  distinct queries: {}", z.distinct());
+    println!("  repetition rate:  {:.2}%", 100.0 * z.repetition_rate());
+
+    let c = clustered_trace(10_000, 0, 1000, 20, 5, 7);
+    println!("\nclustered trace (20 templates, ±5 jitter):");
+    println!("  distinct queries: {}", c.distinct());
+    println!("  repetition rate:  {:.2}%", 100.0 * c.repetition_rate());
+}

@@ -1,0 +1,515 @@
+//! The live Chord protocol: joins, departures, failures, stabilization.
+//!
+//! The static [`crate::ring::Ring`] gives the converged state the paper's
+//! scalability figures measure; this module provides the machinery that
+//! *reaches* that state: `join` via lookup, periodic `stabilize`/`notify`,
+//! finger repair, successor lists for fault tolerance, and both graceful
+//! (`leave`) and abrupt (`fail`) departures. The failure-injection
+//! integration tests drive churn through here.
+
+use crate::id::{Id, ID_BITS};
+use ars_common::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Errors surfaced by the dynamic protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChordError {
+    /// The referenced node is not alive in the network.
+    UnknownNode(Id),
+    /// A node with this id already exists.
+    DuplicateNode(Id),
+    /// A lookup could not make progress (e.g. all successors dead before
+    /// stabilization repaired them).
+    RoutingFailed {
+        /// Node the lookup started from.
+        from: Id,
+        /// Key being located.
+        key: Id,
+    },
+    /// The last node cannot leave/fail (the network would be empty).
+    LastNode,
+}
+
+impl std::fmt::Display for ChordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChordError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ChordError::DuplicateNode(id) => write!(f, "duplicate node {id}"),
+            ChordError::RoutingFailed { from, key } => {
+                write!(f, "routing failed from {from} for key {key}")
+            }
+            ChordError::LastNode => write!(f, "cannot remove the last node"),
+        }
+    }
+}
+
+impl std::error::Error for ChordError {}
+
+/// Per-node protocol state.
+#[derive(Debug, Clone)]
+struct NodeState {
+    /// Ordered successor list (first = immediate successor candidate).
+    successors: Vec<Id>,
+    predecessor: Option<Id>,
+    /// Finger table entries; `None` = not yet resolved.
+    fingers: Vec<Option<Id>>,
+    /// Round-robin pointer for incremental `fix_fingers`.
+    next_finger: usize,
+}
+
+impl NodeState {
+    fn new(succ_list_len: usize) -> NodeState {
+        NodeState {
+            successors: Vec::with_capacity(succ_list_len),
+            predecessor: None,
+            fingers: vec![None; ID_BITS as usize],
+            next_finger: 0,
+        }
+    }
+}
+
+/// A simulated Chord network under churn.
+///
+/// All "RPCs" are direct reads of the target node's state — the simulation
+/// models *protocol state convergence*, not message latency (that is
+/// `ars-simnet`'s job). Dead nodes simply disappear from the map; a peer
+/// consulting a dead pointer observes the failure, as a timeout would.
+#[derive(Debug, Clone)]
+pub struct DynamicNetwork {
+    nodes: FxHashMap<u32, NodeState>,
+    /// Alive ids, sorted — the ground truth used for assertions and for
+    /// efficient true-successor queries. Maintained on join/leave.
+    alive: BTreeSet<u32>,
+    succ_list_len: usize,
+}
+
+impl DynamicNetwork {
+    /// Create a network with one bootstrap node. `succ_list_len` successor
+    /// pointers are kept per node (Chord suggests `O(log N)`; 8 tolerates
+    /// heavy churn at the scales simulated here).
+    pub fn bootstrap(first: Id, succ_list_len: usize) -> DynamicNetwork {
+        assert!(succ_list_len >= 1);
+        let mut n = NodeState::new(succ_list_len);
+        n.successors.push(first); // self-loop ring of one
+        n.predecessor = Some(first);
+        let mut nodes = FxHashMap::default();
+        nodes.insert(first.0, n);
+        let mut alive = BTreeSet::new();
+        alive.insert(first.0);
+        DynamicNetwork {
+            nodes,
+            alive,
+            succ_list_len,
+        }
+    }
+
+    /// Number of alive nodes.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// True if no nodes are alive (cannot occur through the public API).
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Sorted alive node ids.
+    pub fn node_ids(&self) -> Vec<Id> {
+        self.alive.iter().map(|&v| Id(v)).collect()
+    }
+
+    /// True ground-truth owner of `key` given the current alive set.
+    pub fn true_owner(&self, key: Id) -> Id {
+        match self.alive.range(key.0..).next() {
+            Some(&v) => Id(v),
+            None => Id(*self.alive.iter().next().expect("network is empty")),
+        }
+    }
+
+    fn node(&self, id: Id) -> Result<&NodeState, ChordError> {
+        self.nodes.get(&id.0).ok_or(ChordError::UnknownNode(id))
+    }
+
+    fn is_alive(&self, id: Id) -> bool {
+        self.alive.contains(&id.0)
+    }
+
+    /// First *alive* successor-list entry of `of`, if any.
+    fn live_successor(&self, of: &NodeState) -> Option<Id> {
+        of.successors.iter().copied().find(|&s| self.is_alive(s))
+    }
+
+    /// Join a new node, learning the ring through `via` (any alive node).
+    /// The new node acquires its successor immediately; predecessors,
+    /// successor lists and fingers converge through [`Self::stabilize_all`].
+    pub fn join(&mut self, new: Id, via: Id) -> Result<(), ChordError> {
+        if self.nodes.contains_key(&new.0) {
+            return Err(ChordError::DuplicateNode(new));
+        }
+        self.node(via)?;
+        let succ = self.lookup(via, new).map(|(owner, _)| owner)?;
+        let mut state = NodeState::new(self.succ_list_len);
+        state.successors.push(succ);
+        self.nodes.insert(new.0, state);
+        self.alive.insert(new.0);
+        Ok(())
+    }
+
+    /// Graceful departure: hands its role to its neighbours before leaving.
+    pub fn leave(&mut self, id: Id) -> Result<(), ChordError> {
+        if self.len() == 1 {
+            return Err(ChordError::LastNode);
+        }
+        let state = self.node(id)?.clone();
+        self.alive.remove(&id.0);
+        self.nodes.remove(&id.0);
+        // Tell the predecessor to adopt our successor and vice versa.
+        let succ = state
+            .successors
+            .iter()
+            .copied()
+            .find(|&s| self.is_alive(s));
+        if let (Some(pred), Some(succ)) = (state.predecessor, succ) {
+            if let Some(p) = self.nodes.get_mut(&pred.0) {
+                p.successors.retain(|&s| s != id);
+                p.successors.insert(0, succ);
+                p.successors.dedup();
+                p.successors.truncate(self.succ_list_len);
+            }
+            if let Some(s) = self.nodes.get_mut(&succ.0) {
+                if s.predecessor == Some(id) {
+                    s.predecessor = Some(pred);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Abrupt failure: the node vanishes; everyone else's pointers go stale
+    /// until stabilization repairs them.
+    pub fn fail(&mut self, id: Id) -> Result<(), ChordError> {
+        if self.len() == 1 {
+            return Err(ChordError::LastNode);
+        }
+        self.node(id)?;
+        self.alive.remove(&id.0);
+        self.nodes.remove(&id.0);
+        Ok(())
+    }
+
+    /// One stabilization round over every node (ascending id order — the
+    /// order is immaterial to convergence, fixed for determinism):
+    /// prune dead successors, run Chord's `stabilize` + `notify`, refresh
+    /// the successor list from the successor, and repair `fingers_per_round`
+    /// finger entries.
+    pub fn stabilize_all(&mut self, fingers_per_round: usize) {
+        let ids: Vec<u32> = self.alive.iter().copied().collect();
+        for id in ids {
+            self.stabilize_one(Id(id), fingers_per_round);
+        }
+    }
+
+    /// Run stabilization until every node's immediate successor matches the
+    /// ground truth (or `max_rounds` is hit). Returns rounds used, or
+    /// `None` on non-convergence.
+    pub fn stabilize_until_consistent(&mut self, max_rounds: usize) -> Option<usize> {
+        for round in 0..max_rounds {
+            if self.is_ring_consistent() {
+                return Some(round);
+            }
+            self.stabilize_all(ID_BITS as usize);
+        }
+        if self.is_ring_consistent() {
+            Some(max_rounds)
+        } else {
+            None
+        }
+    }
+
+    fn stabilize_one(&mut self, id: Id, fingers_per_round: usize) {
+        let Some(state) = self.nodes.get(&id.0) else {
+            return;
+        };
+        let mut successors = state.successors.clone();
+        // 1. Prune dead successors.
+        successors.retain(|&s| self.is_alive(s));
+        if successors.is_empty() {
+            // Lost every successor: fall back to any alive finger, else the
+            // ground-truth emergency bootstrap (models out-of-band rejoin).
+            let fallback = state
+                .fingers
+                .iter()
+                .flatten()
+                .copied()
+                .find(|&f| self.is_alive(f) && f != id)
+                .unwrap_or_else(|| self.true_owner(id.plus(1)));
+            successors.push(fallback);
+        }
+        // 2. Stabilize: check successor's predecessor.
+        let succ = successors[0];
+        let succ_pred = self.nodes.get(&succ.0).and_then(|s| s.predecessor);
+        if let Some(p) = succ_pred {
+            if self.is_alive(p) && p.in_open(id, succ) {
+                successors.insert(0, p);
+            }
+        }
+        // 3. Refresh successor list from (possibly new) successor's list.
+        let succ = successors[0];
+        if let Some(s) = self.nodes.get(&succ.0) {
+            let mut merged = vec![succ];
+            merged.extend(s.successors.iter().copied().filter(|&x| x != id));
+            merged.dedup();
+            successors = merged;
+        }
+        successors.retain(|&s| self.is_alive(s));
+        successors.truncate(self.succ_list_len);
+
+        // 4. Notify the successor that we might be its predecessor.
+        let succ = successors[0];
+        if let Some(s) = self.nodes.get_mut(&succ.0) {
+            let accept = match s.predecessor {
+                Some(p) => !self.alive.contains(&p.0) || id.in_open(p, succ) || p == succ,
+                None => true,
+            };
+            // Either we are a better predecessor for our successor, or the
+            // successor is ourselves (one-node ring): adopt in both cases.
+            if accept || succ == id {
+                s.predecessor = Some(id);
+            }
+        }
+
+        // 5. Fix fingers incrementally, resolving each start position by a
+        //    best-effort lookup through the current (possibly stale) state.
+        let state = self.nodes.get(&id.0).expect("node vanished mid-round");
+        let mut next = state.next_finger;
+        let mut finger_updates: Vec<(usize, Option<Id>)> = Vec::new();
+        for _ in 0..fingers_per_round.min(ID_BITS as usize) {
+            let start = id.plus_pow2(next as u32);
+            let resolved = self.lookup(id, start).ok().map(|(owner, _)| owner);
+            finger_updates.push((next, resolved));
+            next = (next + 1) % ID_BITS as usize;
+        }
+
+        let state = self.nodes.get_mut(&id.0).expect("node vanished mid-round");
+        state.successors = successors;
+        for (i, f) in finger_updates {
+            if f.is_some() {
+                state.fingers[i] = f;
+            }
+        }
+        state.next_finger = next;
+    }
+
+    /// Best-effort iterative lookup through current protocol state.
+    /// Tolerates stale fingers by skipping dead next-hops; fails only if a
+    /// node has no alive pointer toward the key.
+    pub fn lookup(&self, from: Id, key: Id) -> Result<(Id, usize), ChordError> {
+        let mut current = from;
+        let mut hops = 0usize;
+        let mut visited = 0usize;
+        let budget = 2 * ID_BITS as usize + self.len();
+        loop {
+            let state = self.node(current)?;
+            let succ = self
+                .live_successor(state)
+                .ok_or(ChordError::RoutingFailed { from, key })?;
+            if succ == current || key.in_open_closed(current, succ) {
+                return Ok((succ, hops + 1));
+            }
+            // Closest preceding *alive* pointer among fingers + successors.
+            let mut next: Option<Id> = None;
+            for f in state
+                .fingers
+                .iter()
+                .flatten()
+                .copied()
+                .chain(state.successors.iter().copied())
+            {
+                if self.is_alive(f) && f.in_open(current, key) {
+                    // Farthest strictly-preceding pointer wins.
+                    next = Some(match next {
+                        Some(best) if f.in_open(best, key) => f,
+                        Some(best) => best,
+                        None => f,
+                    });
+                }
+            }
+            let next = next.unwrap_or(succ);
+            if next == current {
+                return Err(ChordError::RoutingFailed { from, key });
+            }
+            current = next;
+            hops += 1;
+            visited += 1;
+            if visited > budget {
+                return Err(ChordError::RoutingFailed { from, key });
+            }
+        }
+    }
+
+    /// True when every node's first alive successor equals the ground-truth
+    /// next node on the circle.
+    pub fn is_ring_consistent(&self) -> bool {
+        self.alive.iter().all(|&v| {
+            let id = Id(v);
+            let state = &self.nodes[&v];
+            match self.live_successor(state) {
+                Some(s) => s == self.true_owner(id.plus(1)),
+                None => self.len() == 1,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_common::DetRng;
+
+    fn grow_network(n: usize, seed: u64) -> DynamicNetwork {
+        let mut rng = DetRng::new(seed);
+        let first = Id(rng.next_u32());
+        let mut net = DynamicNetwork::bootstrap(first, 8);
+        while net.len() < n {
+            let new = Id(rng.next_u32());
+            if net.node_ids().contains(&new) {
+                continue;
+            }
+            net.join(new, first).unwrap();
+            net.stabilize_all(32);
+        }
+        net.stabilize_until_consistent(64)
+            .expect("network failed to converge while growing");
+        net
+    }
+
+    #[test]
+    fn bootstrap_single_node() {
+        let net = DynamicNetwork::bootstrap(Id(42), 4);
+        assert_eq!(net.len(), 1);
+        assert!(net.is_ring_consistent());
+        assert_eq!(net.true_owner(Id(7)), Id(42));
+        let (owner, _) = net.lookup(Id(42), Id(1000)).unwrap();
+        assert_eq!(owner, Id(42));
+    }
+
+    #[test]
+    fn join_two_nodes() {
+        let mut net = DynamicNetwork::bootstrap(Id(100), 4);
+        net.join(Id(200), Id(100)).unwrap();
+        net.stabilize_until_consistent(16).expect("no convergence");
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.lookup(Id(100), Id(150)).unwrap().0, Id(200));
+        assert_eq!(net.lookup(Id(200), Id(250)).unwrap().0, Id(100));
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut net = DynamicNetwork::bootstrap(Id(1), 4);
+        assert_eq!(net.join(Id(1), Id(1)), Err(ChordError::DuplicateNode(Id(1))));
+    }
+
+    #[test]
+    fn join_via_unknown_rejected() {
+        let mut net = DynamicNetwork::bootstrap(Id(1), 4);
+        assert_eq!(
+            net.join(Id(2), Id(99)),
+            Err(ChordError::UnknownNode(Id(99)))
+        );
+    }
+
+    #[test]
+    fn grown_network_resolves_lookups_correctly() {
+        let net = grow_network(40, 7);
+        let mut rng = DetRng::new(99);
+        let ids = net.node_ids();
+        for _ in 0..200 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let (owner, hops) = net.lookup(from, key).unwrap();
+            assert_eq!(owner, net.true_owner(key));
+            assert!(hops <= 40);
+        }
+    }
+
+    #[test]
+    fn graceful_leave_preserves_consistency() {
+        let mut net = grow_network(20, 11);
+        let victim = net.node_ids()[5];
+        net.leave(victim).unwrap();
+        // Graceful leave keeps the ring consistent after at most a couple of
+        // rounds (often immediately).
+        net.stabilize_until_consistent(16).expect("no convergence");
+        assert_eq!(net.len(), 19);
+        assert!(!net.node_ids().contains(&victim));
+    }
+
+    #[test]
+    fn abrupt_failure_recovers_via_stabilization() {
+        let mut net = grow_network(30, 13);
+        let mut rng = DetRng::new(5);
+        // Fail 5 random nodes at once.
+        for _ in 0..5 {
+            let ids = net.node_ids();
+            let victim = ids[rng.gen_index(ids.len())];
+            net.fail(victim).unwrap();
+        }
+        let rounds = net
+            .stabilize_until_consistent(64)
+            .expect("failed to recover from 5 failures");
+        assert!(rounds <= 64);
+        // After recovery, lookups are correct again.
+        let ids = net.node_ids();
+        for _ in 0..100 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            assert_eq!(net.lookup(from, key).unwrap().0, net.true_owner(key));
+        }
+    }
+
+    #[test]
+    fn last_node_cannot_be_removed() {
+        let mut net = DynamicNetwork::bootstrap(Id(9), 4);
+        assert_eq!(net.fail(Id(9)), Err(ChordError::LastNode));
+        assert_eq!(net.leave(Id(9)), Err(ChordError::LastNode));
+    }
+
+    #[test]
+    fn continuous_churn_converges() {
+        let mut net = grow_network(25, 17);
+        let mut rng = DetRng::new(23);
+        for step in 0..30 {
+            if rng.gen_bool(0.5) && net.len() > 5 {
+                let ids = net.node_ids();
+                let victim = ids[rng.gen_index(ids.len())];
+                if rng.gen_bool(0.5) {
+                    net.fail(victim).unwrap();
+                } else {
+                    net.leave(victim).unwrap();
+                }
+            } else {
+                let ids = net.node_ids();
+                let via = ids[rng.gen_index(ids.len())];
+                let new = Id(rng.next_u32());
+                if !ids.contains(&new) {
+                    // Join may fail if routing is degraded mid-churn; that is
+                    // acceptable — a real node retries.
+                    let _ = net.join(new, via);
+                }
+            }
+            net.stabilize_all(8);
+            let _ = step;
+        }
+        net.stabilize_until_consistent(128)
+            .expect("churned network failed to converge");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ChordError::RoutingFailed {
+            from: Id(1),
+            key: Id(2),
+        };
+        assert!(format!("{e}").contains("routing failed"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Finger tables.
+//!
+//! Node `n`'s `i`-th finger (0-based) is the first node that succeeds
+//! `n + 2^i` on the circle. Routing greedily forwards to the closest
+//! preceding finger, halving the remaining distance per hop — this is what
+//! gives Chord its `O(log N)` path lengths (Fig. 12).
+
+use crate::id::{Id, ID_BITS};
+
+/// The finger table of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerTable {
+    owner: Id,
+    entries: [Id; ID_BITS as usize],
+}
+
+impl FingerTable {
+    /// Build a finger table by resolving each start position with
+    /// `successor_of` (typically [`crate::ring::Ring::successor_of`]).
+    pub fn build(owner: Id, mut successor_of: impl FnMut(Id) -> Id) -> FingerTable {
+        let mut entries = [Id(0); ID_BITS as usize];
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = successor_of(owner.plus_pow2(i as u32));
+        }
+        FingerTable { owner, entries }
+    }
+
+    /// The node this table belongs to.
+    pub fn owner(&self) -> Id {
+        self.owner
+    }
+
+    /// Finger `i` (the successor of `owner + 2^i`).
+    pub fn entry(&self, i: usize) -> Id {
+        self.entries[i]
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[Id] {
+        &self.entries
+    }
+
+    /// The first finger (successor of `owner + 1`) — the node's immediate
+    /// successor on the ring.
+    pub fn successor(&self) -> Id {
+        self.entries[0]
+    }
+
+    /// The closest finger strictly preceding `key` (Chord's
+    /// `closest_preceding_finger`): scans from the farthest finger down,
+    /// returning the first entry in the open interval `(owner, key)`.
+    /// Returns `None` when no finger lies strictly between — the caller
+    /// then falls through to the immediate successor.
+    pub fn closest_preceding(&self, key: Id) -> Option<Id> {
+        self.entries.iter().rev().find(|&&f| f.in_open(self.owner, key)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// successor_of over a fixed sorted id list.
+    fn succ_fn(ids: &[u32]) -> impl FnMut(Id) -> Id + '_ {
+        move |key: Id| {
+            for &id in ids {
+                if id >= key.0 {
+                    return Id(id);
+                }
+            }
+            Id(ids[0]) // wrap
+        }
+    }
+
+    #[test]
+    fn build_resolves_start_positions() {
+        let ids = [0u32, 1 << 30, 2 << 30, 3 << 30];
+        let t = FingerTable::build(Id(0), succ_fn(&ids));
+        // Fingers 0..30 start at 1..2^29... all resolve to 2^30.
+        assert_eq!(t.entry(0), Id(1 << 30));
+        assert_eq!(t.entry(29), Id(1 << 30));
+        assert_eq!(t.entry(30), Id(1 << 30)); // start exactly 2^30
+        assert_eq!(t.entry(31), Id(2 << 30));
+        assert_eq!(t.successor(), Id(1 << 30));
+        assert_eq!(t.owner(), Id(0));
+    }
+
+    #[test]
+    fn closest_preceding_picks_farthest_before_key() {
+        let ids = [0u32, 1 << 30, 2 << 30, 3 << 30];
+        let t = FingerTable::build(Id(0), succ_fn(&ids));
+        // Node 0's fingers resolve to {2^30 (entries 0..=30), 2^31 (entry
+        // 31)} — 3·2^30 is nobody's finger from 0. For a key just past
+        // 3·2^30 the farthest preceding finger is therefore 2^31.
+        assert_eq!(t.closest_preceding(Id((3 << 30) + 5)), Some(Id(2 << 30)));
+        // Key = 2^30: fingers strictly inside (0, 2^30) — none (first live
+        // node is exactly 2^30, which is not *strictly* before the key).
+        assert_eq!(t.closest_preceding(Id(1 << 30)), None);
+        // Key between successor and second node.
+        assert_eq!(t.closest_preceding(Id((1 << 30) + 1)), Some(Id(1 << 30)));
+    }
+
+    #[test]
+    fn closest_preceding_wraps() {
+        let ids = [100u32, 200, 300];
+        let t = FingerTable::build(Id(300), succ_fn(&ids));
+        // From 300, key 150 (wrapping past 0): finger 100 precedes it.
+        assert_eq!(t.closest_preceding(Id(150)), Some(Id(100)));
+        // Key 100 exactly: nothing strictly inside (300, 100).
+        assert_eq!(t.closest_preceding(Id(100)), None);
+    }
+
+    #[test]
+    fn single_node_ring_has_self_fingers() {
+        let ids = [42u32];
+        let t = FingerTable::build(Id(42), succ_fn(&ids));
+        assert!(t.entries().iter().all(|&e| e == Id(42)));
+        assert_eq!(t.closest_preceding(Id(7)), None);
+    }
+}

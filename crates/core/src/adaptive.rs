@@ -1,0 +1,238 @@
+//! Adaptive query padding — the paper's closing future-work item:
+//! "In future, we will explore dynamically adjusting padding for better
+//! overall performance" (§5.2).
+//!
+//! Fixed padding trades the two sides of Fig. 10: more padding means more
+//! queries fully contained in cached partitions, but a padded range that
+//! *misses* hurts recall for the queries it would otherwise have matched.
+//! [`AdaptivePadding`] is a small additive-increase / multiplicative-
+//! decrease controller over a sliding window: when too few recent queries
+//! are answered completely it pads more; when padding stops paying for
+//! itself it backs off.
+
+use crate::network::{QueryOutcome, RangeSelectNetwork};
+use ars_lsh::RangeSet;
+use std::collections::VecDeque;
+
+/// Controller state for dynamic padding.
+#[derive(Debug, Clone)]
+pub struct AdaptivePadding {
+    current: f64,
+    min: f64,
+    max: f64,
+    /// Additive increase step.
+    step: f64,
+    /// Target fraction of recent queries answered completely.
+    target_complete: f64,
+    window: VecDeque<bool>,
+    window_len: usize,
+}
+
+impl Default for AdaptivePadding {
+    fn default() -> AdaptivePadding {
+        AdaptivePadding::new(0.0, 0.5, 0.05, 0.7, 50)
+    }
+}
+
+impl AdaptivePadding {
+    /// Create a controller.
+    ///
+    /// * `min`/`max` — padding bounds;
+    /// * `step` — additive increase per under-target window;
+    /// * `target_complete` — desired fraction of fully-answered queries;
+    /// * `window_len` — sliding window size.
+    ///
+    /// # Panics
+    /// Panics on inconsistent bounds or an empty window.
+    pub fn new(
+        min: f64,
+        max: f64,
+        step: f64,
+        target_complete: f64,
+        window_len: usize,
+    ) -> AdaptivePadding {
+        assert!(min >= 0.0 && max >= min, "invalid padding bounds");
+        assert!(step > 0.0, "step must be positive");
+        assert!((0.0..=1.0).contains(&target_complete), "invalid target");
+        assert!(window_len > 0, "window must be non-empty");
+        AdaptivePadding {
+            current: min,
+            min,
+            max,
+            step,
+            target_complete,
+            window: VecDeque::with_capacity(window_len),
+            window_len,
+        }
+    }
+
+    /// The padding the next query should use.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Fraction of the current window answered completely.
+    pub fn window_complete_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().filter(|&&b| b).count() as f64 / self.window.len() as f64
+    }
+
+    /// Record a query outcome and adjust.
+    pub fn observe(&mut self, outcome: &QueryOutcome) {
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(outcome.recall >= 1.0);
+        if self.window.len() < self.window_len {
+            return; // not enough signal yet
+        }
+        let rate = self.window_complete_rate();
+        if rate < self.target_complete {
+            // Under target: pad more (additive increase).
+            self.current = (self.current + self.step).min(self.max);
+        } else {
+            // Over target: padding is paying — decay gently toward min so
+            // over-padding does not linger (multiplicative decrease).
+            self.current = (self.current * 0.9).max(self.min);
+        }
+    }
+}
+
+/// A querying client that drives a network with adaptive padding.
+pub struct AdaptiveClient<'a> {
+    net: &'a mut RangeSelectNetwork,
+    /// The controller (public for inspection in experiments).
+    pub controller: AdaptivePadding,
+}
+
+impl<'a> AdaptiveClient<'a> {
+    /// Wrap a network with the default controller.
+    pub fn new(net: &'a mut RangeSelectNetwork) -> AdaptiveClient<'a> {
+        AdaptiveClient {
+            net,
+            controller: AdaptivePadding::default(),
+        }
+    }
+
+    /// Wrap with an explicit controller.
+    pub fn with_controller(
+        net: &'a mut RangeSelectNetwork,
+        controller: AdaptivePadding,
+    ) -> AdaptiveClient<'a> {
+        AdaptiveClient { net, controller }
+    }
+
+    /// Query with the controller's current padding, then update it.
+    pub fn query(&mut self, q: &RangeSet) -> QueryOutcome {
+        let padding = self.controller.current();
+        let out = self.net.query_padded(q, padding);
+        self.controller.observe(&out);
+        out
+    }
+
+    /// Run a trace, returning outcomes.
+    pub fn run_trace<'q, I: IntoIterator<Item = &'q RangeSet>>(
+        &mut self,
+        queries: I,
+    ) -> Vec<QueryOutcome> {
+        queries.into_iter().map(|q| self.query(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MatchMeasure, SystemConfig};
+    use crate::recall::pct_fully_answered;
+    use ars_workload::uniform_trace;
+
+    #[test]
+    fn controller_bounds_respected() {
+        let mut c = AdaptivePadding::new(0.0, 0.3, 0.1, 0.99, 2);
+        // Feed misses: padding must rise but never exceed max.
+        let miss = QueryOutcome {
+            query: RangeSet::interval(0, 1),
+            best_match: None,
+            similarity: 0.0,
+            recall: 0.0,
+            exact: false,
+            stored: true,
+            hops: vec![],
+            identifiers: vec![],
+            peers_contacted: 0,
+        };
+        for _ in 0..20 {
+            c.observe(&miss);
+            assert!(c.current() <= 0.3 + 1e-12);
+            assert!(c.current() >= 0.0);
+        }
+        assert!((c.current() - 0.3).abs() < 1e-9, "saturates at max");
+    }
+
+    #[test]
+    fn controller_backs_off_when_target_met() {
+        let mut c = AdaptivePadding::new(0.0, 0.5, 0.1, 0.5, 2);
+        let hit = QueryOutcome {
+            query: RangeSet::interval(0, 1),
+            best_match: Some(RangeSet::interval(0, 1)),
+            similarity: 1.0,
+            recall: 1.0,
+            exact: true,
+            stored: false,
+            hops: vec![],
+            identifiers: vec![],
+            peers_contacted: 0,
+        };
+        // Drive up first.
+        let miss = QueryOutcome { recall: 0.0, ..hit.clone() };
+        for _ in 0..10 {
+            c.observe(&miss);
+        }
+        let high = c.current();
+        assert!(high > 0.0);
+        for _ in 0..50 {
+            c.observe(&hit);
+        }
+        assert!(c.current() < high, "must decay once target is met");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid padding bounds")]
+    fn invalid_bounds_rejected() {
+        AdaptivePadding::new(0.5, 0.1, 0.1, 0.5, 10);
+    }
+
+    #[test]
+    fn adaptive_competes_with_fixed_padding() {
+        // On the paper's uniform workload, adaptive padding should land in
+        // the same quality regime as a reasonable fixed setting — without
+        // having been told the right value.
+        let trace = uniform_trace(2_000, 0, 1000, 77);
+        let config = SystemConfig::default()
+            .with_matching(MatchMeasure::Containment)
+            .with_seed(77);
+
+        let mut fixed_net = RangeSelectNetwork::new(200, config.clone());
+        let fixed_outs: Vec<QueryOutcome> = trace
+            .queries()
+            .iter()
+            .map(|q| fixed_net.query_padded(q, 0.2))
+            .collect();
+
+        let mut adaptive_net = RangeSelectNetwork::new(200, config);
+        let mut client = AdaptiveClient::new(&mut adaptive_net);
+        let adaptive_outs = client.run_trace(trace.queries());
+
+        let cut = trace.len() / 5;
+        let fixed_pct = pct_fully_answered(&fixed_outs[cut..]);
+        let adaptive_pct = pct_fully_answered(&adaptive_outs[cut..]);
+        assert!(
+            adaptive_pct > fixed_pct * 0.75,
+            "adaptive ({adaptive_pct:.1}%) too far below fixed 20% ({fixed_pct:.1}%)"
+        );
+        // And the controller stayed within bounds.
+        assert!(client.controller.current() <= 0.5);
+    }
+}

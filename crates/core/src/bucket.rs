@@ -1,0 +1,184 @@
+//! Hash buckets: the per-identifier partition lists peers keep.
+//!
+//! "Each contacted peer checks the list of partitions that it has
+//! associated with the identifier and finds the best match for the query
+//! partition in the list" (§4). A [`Bucket`] is that list; best-match
+//! search supports both measures of §5.2.
+
+use crate::config::MatchMeasure;
+use ars_lsh::RangeSet;
+
+/// The stored partitions of one identifier.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bucket {
+    ranges: Vec<RangeSet>,
+}
+
+/// A candidate match found in a bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// The stored partition's range.
+    pub range: RangeSet,
+    /// Score under the configured measure (1.0 = perfect).
+    pub score: f64,
+}
+
+impl Bucket {
+    /// An empty bucket.
+    pub fn new() -> Bucket {
+        Bucket::default()
+    }
+
+    /// Insert a partition range. Duplicate ranges are kept once.
+    /// Returns true if the range was newly inserted.
+    pub fn insert(&mut self, range: RangeSet) -> bool {
+        if self.ranges.contains(&range) {
+            return false;
+        }
+        self.ranges.push(range);
+        true
+    }
+
+    /// Stored ranges, in insertion order.
+    pub fn ranges(&self) -> &[RangeSet] {
+        &self.ranges
+    }
+
+    /// Number of stored partitions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if the bucket holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Best match for `query` under `measure`, or `None` when the bucket is
+    /// empty. Ties keep the earliest-stored partition (deterministic).
+    pub fn best_match(&self, query: &RangeSet, measure: MatchMeasure) -> Option<Match> {
+        best_of(self.ranges.iter(), query, measure)
+    }
+
+    /// True if the bucket holds this exact range.
+    pub fn contains(&self, range: &RangeSet) -> bool {
+        self.ranges.contains(range)
+    }
+}
+
+/// Score one candidate under a measure.
+pub fn score(query: &RangeSet, candidate: &RangeSet, measure: MatchMeasure) -> f64 {
+    match measure {
+        MatchMeasure::Jaccard => query.jaccard(candidate),
+        MatchMeasure::Containment => query.containment_in(candidate),
+    }
+}
+
+/// Best-scoring candidate from an iterator (first wins ties).
+pub fn best_of<'a, I: Iterator<Item = &'a RangeSet>>(
+    candidates: I,
+    query: &RangeSet,
+    measure: MatchMeasure,
+) -> Option<Match> {
+    let mut best: Option<Match> = None;
+    for r in candidates {
+        let s = score(query, r, measure);
+        let better = match &best {
+            None => true,
+            Some(b) => s > b.score,
+        };
+        if better {
+            best = Some(Match {
+                range: r.clone(),
+                score: s,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut b = Bucket::new();
+        assert!(b.insert(r(0, 10)));
+        assert!(!b.insert(r(0, 10)));
+        assert!(b.insert(r(0, 11)));
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&r(0, 10)));
+        assert!(!b.contains(&r(0, 12)));
+    }
+
+    #[test]
+    fn empty_bucket_no_match() {
+        let b = Bucket::new();
+        assert!(b.best_match(&r(0, 5), MatchMeasure::Jaccard).is_none());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn best_match_jaccard_picks_highest_overlap() {
+        let mut b = Bucket::new();
+        b.insert(r(0, 100)); // J with [40,60] = 21/101
+        b.insert(r(35, 65)); // J = 21/31
+        b.insert(r(200, 300)); // J = 0
+        let m = b.best_match(&r(40, 60), MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m.range, r(35, 65));
+        assert!((m.score - 21.0 / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_can_disagree() {
+        // Containment prefers the broad superset; Jaccard the tight overlap.
+        let q = r(40, 60);
+        let broad = r(0, 1000); // containment 1.0, jaccard 21/1001
+        let tight = r(45, 60); // containment 16/21, jaccard 16/21
+        let mut b = Bucket::new();
+        b.insert(broad.clone());
+        b.insert(tight.clone());
+        assert_eq!(
+            b.best_match(&q, MatchMeasure::Containment).unwrap().range,
+            broad
+        );
+        assert_eq!(
+            b.best_match(&q, MatchMeasure::Jaccard).unwrap().range,
+            tight
+        );
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let mut b = Bucket::new();
+        b.insert(r(30, 50));
+        for m in [MatchMeasure::Jaccard, MatchMeasure::Containment] {
+            let got = b.best_match(&r(30, 50), m).unwrap();
+            assert_eq!(got.score, 1.0);
+            assert_eq!(got.range, r(30, 50));
+        }
+    }
+
+    #[test]
+    fn ties_keep_first_inserted() {
+        let q = r(10, 19);
+        let left = r(0, 14); // overlap 5, union 20 → J = 0.25
+        let right = r(15, 29); // overlap 5, union 20 → J = 0.25
+        let mut b = Bucket::new();
+        b.insert(left.clone());
+        b.insert(right);
+        assert_eq!(b.best_match(&q, MatchMeasure::Jaccard).unwrap().range, left);
+    }
+
+    #[test]
+    fn score_function_direct() {
+        assert_eq!(score(&r(0, 9), &r(0, 9), MatchMeasure::Jaccard), 1.0);
+        assert_eq!(score(&r(0, 9), &r(100, 109), MatchMeasure::Jaccard), 0.0);
+        assert_eq!(score(&r(0, 9), &r(0, 99), MatchMeasure::Containment), 1.0);
+    }
+}

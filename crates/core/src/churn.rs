@@ -1,0 +1,440 @@
+//! The range-selection system over a *live* Chord network.
+//!
+//! The experiment harness measures steady state over a static ring
+//! ([`crate::RangeSelectNetwork`]); this module composes the same §4 query
+//! procedure with [`ars_chord::DynamicNetwork`] so peers can join, leave,
+//! and crash mid-stream:
+//!
+//! * a graceful **leave** hands the peer's buckets to its ring successor
+//!   (who becomes the owner of its identifier interval), so cached
+//!   partitions survive;
+//! * an abrupt **fail** loses the peer's buckets — subsequent queries miss
+//!   and re-cache, which is exactly the paper's soft-state story (cached
+//!   partitions are rebuildable from the sources).
+
+use crate::bucket::Match;
+use crate::config::{Placement, SystemConfig};
+use crate::network::QueryOutcome;
+use crate::peer::Peer;
+use ars_chord::dynamic::ChordError;
+use ars_chord::{DynamicNetwork, Id};
+use ars_common::{DetRng, FxHashMap};
+use ars_lsh::{HashGroups, RangeSet};
+
+/// The paper's system over a dynamic (churning) Chord network.
+pub struct ChurnNetwork {
+    config: SystemConfig,
+    chord: DynamicNetwork,
+    storage: FxHashMap<u32, Peer>,
+    groups: HashGroups,
+    rng: DetRng,
+}
+
+impl ChurnNetwork {
+    /// Grow a network to `n_peers` through the join protocol (each join
+    /// followed by stabilization, as a slow deployment would).
+    ///
+    /// # Panics
+    /// Panics if the ring fails to converge while growing (cannot happen
+    /// without failures).
+    pub fn new(n_peers: usize, config: SystemConfig) -> ChurnNetwork {
+        assert!(n_peers >= 1);
+        let mut rng = DetRng::new(config.seed);
+        let mut group_rng = rng.fork();
+        let groups = HashGroups::generate(config.family, config.k, config.l, &mut group_rng);
+        let first = Id(rng.next_u32());
+        let mut chord = DynamicNetwork::bootstrap(first, 8);
+        let mut storage = FxHashMap::default();
+        storage.insert(first.0, Peer::new(first));
+        while chord.len() < n_peers {
+            let id = Id(rng.next_u32());
+            if chord.node_ids().contains(&id) {
+                continue;
+            }
+            chord.join(id, first).expect("join while growing");
+            chord.stabilize_all(32);
+            storage.insert(id.0, Peer::new(id));
+        }
+        chord
+            .stabilize_until_consistent(64)
+            .expect("growth converges");
+        ChurnNetwork {
+            config,
+            chord,
+            storage,
+            groups,
+            rng,
+        }
+    }
+
+    /// Number of alive peers.
+    pub fn len(&self) -> usize {
+        self.chord.len()
+    }
+
+    /// True if no peers are alive (cannot happen through this API).
+    pub fn is_empty(&self) -> bool {
+        self.chord.is_empty()
+    }
+
+    /// The underlying dynamic Chord network.
+    pub fn chord(&self) -> &DynamicNetwork {
+        &self.chord
+    }
+
+    /// Total cached partition copies across alive peers.
+    pub fn total_partitions(&self) -> usize {
+        self.storage.values().map(Peer::partition_count).sum()
+    }
+
+    fn place(&self, identifier: u32) -> Id {
+        match self.config.placement {
+            Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes())),
+            Placement::Direct => Id(identifier),
+        }
+    }
+
+    /// Abruptly crash a peer: its cached partitions are lost.
+    pub fn fail(&mut self, id: Id) -> Result<(), ChordError> {
+        self.chord.fail(id)?;
+        self.storage.remove(&id.0);
+        Ok(())
+    }
+
+    /// Crash `count` random peers at once.
+    pub fn fail_random(&mut self, count: usize) {
+        for _ in 0..count {
+            let ids = self.chord.node_ids();
+            if ids.len() <= 1 {
+                return;
+            }
+            let victim = ids[self.rng.gen_index(ids.len())];
+            let _ = self.fail(victim);
+        }
+    }
+
+    /// Gracefully leave: buckets are handed to the departing peer's ring
+    /// successor before it goes.
+    pub fn leave(&mut self, id: Id) -> Result<(), ChordError> {
+        // Determine the inheritor *before* removing the node.
+        let inheritor = self.chord.true_owner(id.plus(1));
+        self.chord.leave(id)?;
+        if let Some(mut gone) = self.storage.remove(&id.0) {
+            let handed = gone.drain();
+            let heir = self
+                .storage
+                .get_mut(&inheritor.0)
+                .expect("successor must be alive");
+            for (ident, range) in handed {
+                heir.store(ident, range);
+            }
+        }
+        Ok(())
+    }
+
+    /// Join a fresh random peer and stabilize.
+    pub fn join_random(&mut self) -> Result<Id, ChordError> {
+        loop {
+            let id = Id(self.rng.next_u32());
+            if self.chord.node_ids().contains(&id) {
+                continue;
+            }
+            let via = self.chord.node_ids()[0];
+            self.chord.join(id, via)?;
+            self.storage.insert(id.0, Peer::new(id));
+            self.chord.stabilize_all(32);
+            return Ok(id);
+        }
+    }
+
+    /// Join with Chord's key migration: after the ring stabilizes, the new
+    /// node's successor hands over every bucket whose identifier now falls
+    /// in the new node's interval `(pred(new), new]` — so previously cached
+    /// partitions stay findable across joins.
+    pub fn join_random_with_migration(&mut self) -> Result<Id, ChordError> {
+        let new = self.join_random()?;
+        self.chord
+            .stabilize_until_consistent(64)
+            .ok_or(ChordError::RoutingFailed {
+                from: new,
+                key: new,
+            })?;
+        // The new node's successor holds the keys that must move.
+        let succ = self.chord.true_owner(new.plus(1));
+        let pred = {
+            // Predecessor on the current ring: the owner of (new - 1)'s
+            // interval is `new` itself, so find the node before it.
+            let ids = self.chord.node_ids();
+            let pos = ids.iter().position(|&i| i == new).expect("joined");
+            ids[(pos + ids.len() - 1) % ids.len()]
+        };
+        if succ != new {
+            let placement = self.config.placement;
+            let place = move |ident: u32| match placement {
+                Placement::Uniformized => {
+                    Id(ars_chord::sha1::sha1_u32(&ident.to_be_bytes()))
+                }
+                Placement::Direct => Id(ident),
+            };
+            let moved: Vec<(u32, ars_lsh::RangeSet)> = {
+                let donor = self
+                    .storage
+                    .get_mut(&succ.0)
+                    .expect("successor storage exists");
+                let all = donor.drain();
+                let (mine, theirs): (Vec<_>, Vec<_>) = all
+                    .into_iter()
+                    .partition(|(ident, _)| place(*ident).in_open_closed(pred, new));
+                for (ident, range) in theirs {
+                    donor.store(ident, range);
+                }
+                mine
+            };
+            let newcomer = self.storage.get_mut(&new.0).expect("new storage exists");
+            for (ident, range) in moved {
+                newcomer.store(ident, range);
+            }
+        }
+        Ok(new)
+    }
+
+    /// Run stabilization rounds (after injected churn).
+    pub fn stabilize(&mut self, max_rounds: usize) -> Option<usize> {
+        self.chord.stabilize_until_consistent(max_rounds)
+    }
+
+    /// Execute one query through the live routing state. Fails only if
+    /// routing itself fails (possible mid-churn before stabilization).
+    pub fn query(&mut self, q: &RangeSet) -> Result<QueryOutcome, ChordError> {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        let hashed_range = if self.config.padding > 0.0 {
+            q.pad(self.config.padding)
+        } else {
+            q.clone()
+        };
+        let identifiers = self.groups.identifiers(&hashed_range);
+        let origin = {
+            let ids = self.chord.node_ids();
+            ids[self.rng.gen_index(ids.len())]
+        };
+
+        let mut hops = Vec::with_capacity(identifiers.len());
+        let mut owners = Vec::with_capacity(identifiers.len());
+        let mut best: Option<Match> = None;
+        for &ident in &identifiers {
+            let (owner, h) = self.chord.lookup(origin, self.place(ident))?;
+            hops.push(h);
+            owners.push(owner);
+            let peer = self
+                .storage
+                .get(&owner.0)
+                .expect("alive owner must have storage");
+            let candidate = if self.config.use_local_index {
+                peer.best_across_buckets(&hashed_range, self.config.matching)
+            } else {
+                peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+            };
+            if let Some(m) = candidate {
+                let better = match &best {
+                    None => true,
+                    Some(b) => m.score > b.score,
+                };
+                if better {
+                    best = Some(m);
+                }
+            }
+        }
+
+        let exact = best
+            .as_ref()
+            .map(|m| m.range == hashed_range)
+            .unwrap_or(false);
+        let mut stored = false;
+        if self.config.cache_on_miss && !exact {
+            for (&ident, owner) in identifiers.iter().zip(&owners) {
+                let peer = self
+                    .storage
+                    .get_mut(&owner.0)
+                    .expect("alive owner must have storage");
+                stored |= peer.store(ident, hashed_range.clone());
+            }
+        }
+
+        let (similarity, recall, best_match) = match &best {
+            Some(m) => (
+                q.jaccard(&m.range),
+                q.containment_in(&m.range),
+                Some(m.range.clone()),
+            ),
+            None => (0.0, 0.0, None),
+        };
+        let mut distinct = owners.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        Ok(QueryOutcome {
+            query: q.clone(),
+            best_match,
+            similarity,
+            recall,
+            exact,
+            stored,
+            hops,
+            identifiers,
+            peers_contacted: distinct.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    fn small_net(seed: u64) -> ChurnNetwork {
+        ChurnNetwork::new(12, SystemConfig::default().with_seed(seed))
+    }
+
+    #[test]
+    fn query_and_requery_as_in_static_network() {
+        let mut net = small_net(1);
+        let miss = net.query(&r(30, 50)).unwrap();
+        assert!(!miss.exact);
+        let hit = net.query(&r(30, 50)).unwrap();
+        assert!(hit.exact);
+        assert_eq!(hit.recall, 1.0);
+    }
+
+    #[test]
+    fn abrupt_failure_loses_cached_partitions() {
+        let mut net = small_net(2);
+        net.query(&r(100, 200)).unwrap();
+        let before = net.total_partitions();
+        assert!(before >= 1);
+        // Kill every peer that holds a partition copy (walk all peers).
+        let holders: Vec<Id> = net
+            .chord()
+            .node_ids()
+            .into_iter()
+            .filter(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for h in holders {
+            if net.len() > 1 {
+                net.fail(h).unwrap();
+            }
+        }
+        net.stabilize(128).expect("recovers");
+        assert_eq!(net.total_partitions(), 0, "failed peers take data down");
+        // The same query now misses again — and re-caches (soft state).
+        let miss_again = net.query(&r(100, 200)).unwrap();
+        assert!(!miss_again.exact);
+        assert!(net.total_partitions() >= 1);
+        let hit = net.query(&r(100, 200)).unwrap();
+        assert!(hit.exact);
+    }
+
+    #[test]
+    fn graceful_leave_preserves_cached_partitions() {
+        let mut net = small_net(3);
+        net.query(&r(100, 200)).unwrap();
+        let before = net.total_partitions();
+        // Every holder leaves gracefully (handing buckets to successors).
+        loop {
+            let holder = net.chord().node_ids().into_iter().find(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            });
+            match holder {
+                Some(h) if net.len() > 1 => {
+                    // The successor inherits; the partitions must survive.
+                    net.leave(h).unwrap();
+                    net.stabilize(64).expect("recovers");
+                }
+                _ => break,
+            }
+            if net.len() <= 2 {
+                break;
+            }
+        }
+        assert_eq!(
+            net.total_partitions(),
+            before,
+            "graceful leave must not lose partitions"
+        );
+        // And they are still *findable*: the successor now owns the
+        // identifier interval the partitions were stored under.
+        let hit = net.query(&r(100, 200)).unwrap();
+        assert!(hit.exact, "handed-over partition must still be located");
+    }
+
+    #[test]
+    fn join_does_not_disturb_existing_cache() {
+        let mut net = small_net(4);
+        net.query(&r(5, 80)).unwrap();
+        for _ in 0..4 {
+            net.join_random().unwrap();
+        }
+        net.stabilize(64).expect("converges");
+        // NOTE: a new peer can take over part of an identifier interval
+        // without inheriting its buckets (Chord key migration on join is
+        // not modelled) — the paper's soft-state answer applies: such
+        // queries miss and re-cache. With 4 joins over 12 peers, at least
+        // some copies usually stay findable; correctness (no crash, valid
+        // outcome) is what this asserts.
+        let out = net.query(&r(5, 80)).unwrap();
+        assert!(out.recall >= 0.0);
+    }
+
+    #[test]
+    fn join_with_migration_keeps_partitions_findable() {
+        let mut net = small_net(6);
+        // Cache several partitions.
+        let queries = [r(10, 60), r(200, 260), r(500, 580), r(800, 870)];
+        for q in &queries {
+            net.query(q).unwrap();
+        }
+        // Many joins with key migration: every previously cached partition
+        // must remain an exact hit afterwards.
+        for _ in 0..8 {
+            net.join_random_with_migration().unwrap();
+        }
+        net.stabilize(64).expect("converges");
+        for q in &queries {
+            let out = net.query(q).unwrap();
+            assert!(
+                out.exact,
+                "partition for {q} lost after joins with migration"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_churn_stream_keeps_answering() {
+        let mut net = ChurnNetwork::new(20, SystemConfig::default().with_seed(5));
+        let queries: Vec<RangeSet> = (0..40).map(|i| r(i * 10, i * 10 + 50)).collect();
+        let mut answered = 0;
+        for (i, q) in queries.iter().enumerate() {
+            if i % 7 == 3 {
+                net.fail_random(1);
+                net.stabilize(64).expect("recovers");
+            }
+            if i % 11 == 5 {
+                net.join_random().unwrap();
+                net.stabilize(64).expect("converges");
+            }
+            if net.query(q).is_ok() {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 40, "stabilized network must answer everything");
+    }
+}

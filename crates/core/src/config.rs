@@ -1,0 +1,187 @@
+//! System configuration.
+
+use ars_lsh::LshFamilyKind;
+
+/// How a bucket-owning peer picks the best stored partition for a query
+/// (the paper's §5.2 comparison, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchMeasure {
+    /// Jaccard set similarity `|Q∩R| / |Q∪R|` — consistent with the hash
+    /// family's locality principle.
+    Jaccard,
+    /// Containment `|Q∩R| / |Q|` — what the user actually cares about
+    /// (how much of the answer the partition holds).
+    Containment,
+}
+
+/// How a partition identifier is mapped to a ring position.
+///
+/// Min-hash identifiers are far from uniform: the minimum of `n` permuted
+/// values concentrates near `2³² / n`, so using identifiers directly as
+/// ring positions piles every bucket onto the few peers owning the low
+/// arc of the circle. Chord's own convention — hash the key before
+/// placement — preserves identifier *equality* (all that bucket matching
+/// needs) while spreading buckets uniformly; it is what reproduces the
+/// paper's balanced Fig. 11. The direct mapping is kept for the ablation
+/// that demonstrates the imbalance (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// `ring position = SHA-1(identifier)` (Chord's key hashing).
+    Uniformized,
+    /// `ring position = identifier` (the paper's literal reading; severely
+    /// imbalanced for min-hash identifiers).
+    Direct,
+}
+
+/// Full configuration of a [`crate::RangeSelectNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// LSH family for partition identifiers.
+    pub family: LshFamilyKind,
+    /// Hash functions per group (`k`; paper: 20).
+    pub k: usize,
+    /// Number of groups / identifiers per range (`l`; paper: 5).
+    pub l: usize,
+    /// Bucket matching measure.
+    pub matching: MatchMeasure,
+    /// Query padding fraction (§5.2; paper evaluates 0.0 and 0.2). The
+    /// query range is expanded by this fraction of its width on each edge
+    /// before hashing, matching, and caching.
+    pub padding: f64,
+    /// Cache the queried partition at the `l` identifier owners when no
+    /// exact match was found (the paper's §4 procedure). Disable to measure
+    /// a read-only system.
+    pub cache_on_miss: bool,
+    /// §5.3 extension: a contacted peer searches an index over *all* its
+    /// buckets, not just the one bucket the identifier names.
+    pub use_local_index: bool,
+    /// Identifier → ring-position mapping.
+    pub placement: Placement,
+    /// Seed for hash-function generation and origin-peer selection.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    /// The paper's §5 parameters: approximate min-wise permutations,
+    /// `k = 20`, `l = 5`, Jaccard matching, no padding, cache-on-miss.
+    fn default() -> SystemConfig {
+        SystemConfig {
+            family: LshFamilyKind::ApproxMinWise,
+            k: 20,
+            l: 5,
+            matching: MatchMeasure::Jaccard,
+            padding: 0.0,
+            cache_on_miss: true,
+            use_local_index: false,
+            placement: Placement::Uniformized,
+            seed: 0xA25_2003, // arbitrary fixed default
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Builder-style: set the hash family.
+    pub fn with_family(mut self, family: LshFamilyKind) -> SystemConfig {
+        self.family = family;
+        self
+    }
+
+    /// Builder-style: set the matching measure.
+    pub fn with_matching(mut self, matching: MatchMeasure) -> SystemConfig {
+        self.matching = matching;
+        self
+    }
+
+    /// Builder-style: set padding.
+    ///
+    /// # Panics
+    /// Panics if `padding` is negative.
+    pub fn with_padding(mut self, padding: f64) -> SystemConfig {
+        assert!(padding >= 0.0, "padding must be non-negative");
+        self.padding = padding;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> SystemConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set `k` and `l`.
+    ///
+    /// # Panics
+    /// Panics if either is zero.
+    pub fn with_kl(mut self, k: usize, l: usize) -> SystemConfig {
+        assert!(k > 0 && l > 0, "k and l must be positive");
+        self.k = k;
+        self.l = l;
+        self
+    }
+
+    /// Builder-style: enable the §5.3 local index.
+    pub fn with_local_index(mut self, on: bool) -> SystemConfig {
+        self.use_local_index = on;
+        self
+    }
+
+    /// Builder-style: enable/disable cache-on-miss.
+    pub fn with_cache_on_miss(mut self, on: bool) -> SystemConfig {
+        self.cache_on_miss = on;
+        self
+    }
+
+    /// Builder-style: set the identifier placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> SystemConfig {
+        self.placement = placement;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = SystemConfig::default();
+        assert_eq!(c.k, 20);
+        assert_eq!(c.l, 5);
+        assert_eq!(c.family, LshFamilyKind::ApproxMinWise);
+        assert_eq!(c.matching, MatchMeasure::Jaccard);
+        assert_eq!(c.padding, 0.0);
+        assert!(c.cache_on_miss);
+        assert!(!c.use_local_index);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::default()
+            .with_family(LshFamilyKind::Linear)
+            .with_matching(MatchMeasure::Containment)
+            .with_padding(0.2)
+            .with_kl(10, 3)
+            .with_seed(7)
+            .with_local_index(true)
+            .with_cache_on_miss(false);
+        assert_eq!(c.family, LshFamilyKind::Linear);
+        assert_eq!(c.matching, MatchMeasure::Containment);
+        assert_eq!(c.padding, 0.2);
+        assert_eq!((c.k, c.l), (10, 3));
+        assert_eq!(c.seed, 7);
+        assert!(c.use_local_index);
+        assert!(!c.cache_on_miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_padding_rejected() {
+        SystemConfig::default().with_padding(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        SystemConfig::default().with_kl(0, 5);
+    }
+}

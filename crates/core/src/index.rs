@@ -1,0 +1,243 @@
+//! A peer-local interval index — making the §5.3 extension real.
+//!
+//! §5.3 suggests that a contacted peer "build up an index over all the
+//! partitions that get stored in various buckets" so a lookup can consider
+//! every partition the peer holds, not just the one bucket the identifier
+//! names. [`Peer::best_across_buckets`](crate::peer::Peer) realizes the
+//! recall effect with a scan; this module provides the *index* — a static
+//! interval structure over `(range.start, range.end)` pairs, rebuilt
+//! incrementally, that answers "best containment match for Q" by touching
+//! only candidates overlapping Q instead of every stored range.
+//!
+//! The structure is a sorted-by-start list with a prefix-maximum of ends
+//! (a flattened interval tree): overlap candidates for `[qlo, qhi]` are a
+//! contiguous prefix of the entries with `start ≤ qhi`, pruned by the
+//! prefix maximum to skip runs that end before `qlo`.
+
+use crate::bucket::Match;
+use crate::config::MatchMeasure;
+use ars_lsh::RangeSet;
+
+/// One indexed entry: a stored partition's bounding interval plus its
+/// full range.
+#[derive(Debug, Clone)]
+struct Entry {
+    start: u32,
+    /// Largest `end` among entries `0..=i` (prefix maximum) — the pruning
+    /// key of the flattened interval tree.
+    prefix_max_end: u32,
+    range: RangeSet,
+}
+
+/// A static-plus-staging interval index over stored partition ranges.
+///
+/// Inserts go to a small staging vector; the sorted base is rebuilt when
+/// staging outgrows a fraction of the base (amortized `O(log n)` per
+/// insert). Queries search base (with interval pruning) plus staging
+/// (scan).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalIndex {
+    base: Vec<Entry>,
+    staging: Vec<RangeSet>,
+}
+
+impl IntervalIndex {
+    /// An empty index.
+    pub fn new() -> IntervalIndex {
+        IntervalIndex::default()
+    }
+
+    /// Number of indexed ranges.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.staging.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.staging.is_empty()
+    }
+
+    /// Insert a range (duplicates are the caller's concern; buckets
+    /// already deduplicate).
+    pub fn insert(&mut self, range: RangeSet) {
+        debug_assert!(!range.is_empty());
+        self.staging.push(range);
+        if self.staging.len() * 8 > self.base.len().max(32) {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        let mut all: Vec<RangeSet> = self
+            .base
+            .drain(..)
+            .map(|e| e.range)
+            .chain(self.staging.drain(..))
+            .collect();
+        all.sort_by_key(|r| (r.min_value().unwrap_or(0), r.max_value().unwrap_or(0)));
+        let mut prefix_max = 0u32;
+        self.base = all
+            .into_iter()
+            .map(|range| {
+                let start = range.min_value().unwrap_or(0);
+                let end = range.max_value().unwrap_or(0);
+                prefix_max = prefix_max.max(end);
+                Entry {
+                    start,
+                    prefix_max_end: prefix_max,
+                    range,
+                }
+            })
+            .collect();
+    }
+
+    /// Best match for `query` under `measure` among all indexed ranges
+    /// whose bounding interval overlaps the query's. (For containment,
+    /// only overlapping ranges can score above zero, so the result equals
+    /// a full scan whenever any overlapping candidate exists; a non-
+    /// overlapping "best" of score 0 is reported from the first stored
+    /// range like the scan would.)
+    pub fn best_match(&self, query: &RangeSet, measure: MatchMeasure) -> Option<Match> {
+        if self.is_empty() {
+            return None;
+        }
+        let qlo = query.min_value()?;
+        let qhi = query.max_value()?;
+        let mut best: Option<Match> = None;
+        let mut consider = |range: &RangeSet| {
+            let score = crate::bucket::score(query, range, measure);
+            let better = match &best {
+                None => true,
+                Some(b) => score > b.score,
+            };
+            if better {
+                best = Some(Match {
+                    range: range.clone(),
+                    score,
+                });
+            }
+        };
+
+        // Base: entries with start ≤ qhi form a prefix (sorted by start).
+        let hi_idx = self.base.partition_point(|e| e.start <= qhi);
+        // Walk backwards; stop when the prefix maximum of ends drops below
+        // qlo — nothing earlier can overlap.
+        for e in self.base[..hi_idx].iter().rev() {
+            if e.prefix_max_end < qlo {
+                break;
+            }
+            // This entry itself may still not overlap (prefix max can come
+            // from an earlier entry); cheap bound check first.
+            if e.range.max_value().unwrap_or(0) >= qlo {
+                consider(&e.range);
+            }
+        }
+        // Staging: plain scan.
+        for r in &self.staging {
+            if r.max_value().unwrap_or(0) >= qlo && r.min_value().unwrap_or(u32::MAX) <= qhi {
+                consider(r);
+            }
+        }
+        // Degenerate fallback: nothing overlapped — report a zero-score
+        // candidate so behaviour matches the linear scan (which always
+        // returns *some* match from a non-empty store).
+        if best.is_none() {
+            let first = self
+                .base
+                .first()
+                .map(|e| &e.range)
+                .or(self.staging.first())?;
+            best = Some(Match {
+                range: first.clone(),
+                score: 0.0,
+            });
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::best_of;
+    use ars_common::DetRng;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let idx = IntervalIndex::new();
+        assert!(idx.best_match(&r(0, 10), MatchMeasure::Jaccard).is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn finds_best_overlapping_candidate() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(r(0, 100));
+        idx.insert(r(35, 65));
+        idx.insert(r(200, 300));
+        let m = idx.best_match(&r(40, 60), MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m.range, r(35, 65));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn no_overlap_reports_zero_score() {
+        let mut idx = IntervalIndex::new();
+        idx.insert(r(0, 10));
+        let m = idx.best_match(&r(500, 600), MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m.score, 0.0);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_data() {
+        // The index must agree with the brute-force best for the measures
+        // where overlap determines the score (both of ours).
+        let mut rng = DetRng::new(7);
+        for measure in [MatchMeasure::Jaccard, MatchMeasure::Containment] {
+            let mut idx = IntervalIndex::new();
+            let mut all: Vec<RangeSet> = Vec::new();
+            for _ in 0..400 {
+                let lo = rng.gen_inclusive_u32(0, 950);
+                let hi = lo + rng.gen_inclusive_u32(0, 50);
+                let range = r(lo, hi);
+                idx.insert(range.clone());
+                all.push(range);
+            }
+            for _ in 0..200 {
+                let lo = rng.gen_inclusive_u32(0, 950);
+                let q = r(lo, lo + rng.gen_inclusive_u32(0, 50));
+                let via_index = idx.best_match(&q, measure).unwrap();
+                let via_scan = best_of(all.iter(), &q, measure).unwrap();
+                assert_eq!(
+                    via_index.score, via_scan.score,
+                    "index and scan disagree for {q} under {measure:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staging_then_rebuild_consistent() {
+        let mut idx = IntervalIndex::new();
+        // Force multiple rebuild cycles and query between inserts.
+        let mut rng = DetRng::new(3);
+        let mut all = Vec::new();
+        for i in 0..300 {
+            let lo = rng.gen_inclusive_u32(0, 900);
+            let range = r(lo, lo + 30);
+            idx.insert(range.clone());
+            all.push(range);
+            if i % 37 == 0 {
+                let q = r(450, 520);
+                let via_index = idx.best_match(&q, MatchMeasure::Containment).unwrap();
+                let via_scan =
+                    best_of(all.iter(), &q, MatchMeasure::Containment).unwrap();
+                assert_eq!(via_index.score, via_scan.score);
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The paper's system, end to end: hash → route → match → cache.
+//!
+//! [`RangeSelectNetwork`] wires the pieces together exactly as §4
+//! describes. It is a *direct-call* simulation: Chord routing is computed
+//! (with full hop accounting) but replies do not traverse a message queue
+//! — see [`crate::proto`] for the message-passing rendition, which an
+//! integration test holds equal to this one.
+
+use crate::bucket::Match;
+use crate::config::{Placement, SystemConfig};
+use crate::peer::Peer;
+use ars_chord::{Id, Ring};
+use ars_common::{DetRng, FxHashMap};
+use ars_lsh::{HashGroups, RangeSet};
+
+/// The result of one range query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The original (unpadded) query range.
+    pub query: RangeSet,
+    /// The best-matching cached partition across the `l` replies, if any
+    /// contacted bucket was non-empty.
+    pub best_match: Option<RangeSet>,
+    /// Jaccard similarity of `query` and the match (0 when none) — the
+    /// x-axis of Figs. 6–7.
+    pub similarity: f64,
+    /// Recall `|Q∩R| / |Q|` of the match for the original query (0 when
+    /// none) — the x-axis of Figs. 8–10.
+    pub recall: f64,
+    /// True if the match equals the (padded) hashed range exactly.
+    pub exact: bool,
+    /// True if this query's partition was newly cached at the identifier
+    /// owners.
+    pub stored: bool,
+    /// Overlay hops of each of the `l` identifier lookups.
+    pub hops: Vec<usize>,
+    /// The `l` identifiers (diagnostics; shared identifiers across similar
+    /// queries are the whole mechanism).
+    pub identifiers: Vec<u32>,
+    /// Number of distinct peers contacted.
+    pub peers_contacted: usize,
+}
+
+/// Aggregate statistics over a network's lifetime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Queries that found some match.
+    pub matched: u64,
+    /// Queries whose match was exact.
+    pub exact: u64,
+    /// Queries that stored their partition.
+    pub stored: u64,
+    /// Total identifier lookups routed.
+    pub lookups: u64,
+    /// Total overlay hops across all lookups.
+    pub total_hops: u64,
+}
+
+/// The full simulated system.
+#[derive(Debug, Clone)]
+pub struct RangeSelectNetwork {
+    config: SystemConfig,
+    ring: Ring,
+    peers: FxHashMap<u32, Peer>,
+    groups: HashGroups,
+    rng: DetRng,
+    stats: NetworkStats,
+}
+
+impl RangeSelectNetwork {
+    /// Build a network of `n_peers` (ids seeded from the config seed) with
+    /// freshly drawn hash groups. The system starts with no cached
+    /// partitions, as in §5.
+    pub fn new(n_peers: usize, config: SystemConfig) -> RangeSelectNetwork {
+        let mut rng = DetRng::new(config.seed);
+        let mut group_rng = rng.fork();
+        let ring_seed = rng.next_u64();
+        let ring = Ring::from_seed(n_peers, ring_seed);
+        Self::with_ring(ring, config, &mut group_rng, rng)
+    }
+
+    /// Build over peers identified by addresses (SHA-1 placement, §4).
+    pub fn from_addresses<S: AsRef<str>, I: IntoIterator<Item = S>>(
+        addrs: I,
+        config: SystemConfig,
+    ) -> RangeSelectNetwork {
+        let mut rng = DetRng::new(config.seed);
+        let mut group_rng = rng.fork();
+        let ring = Ring::from_addresses(addrs);
+        Self::with_ring(ring, config, &mut group_rng, rng)
+    }
+
+    fn with_ring(
+        ring: Ring,
+        config: SystemConfig,
+        group_rng: &mut DetRng,
+        rng: DetRng,
+    ) -> RangeSelectNetwork {
+        let groups = HashGroups::generate(config.family, config.k, config.l, group_rng);
+        let peers = ring
+            .node_ids()
+            .iter()
+            .map(|&id| (id.0, Peer::new(id)))
+            .collect();
+        RangeSelectNetwork {
+            config,
+            ring,
+            peers,
+            groups,
+            rng,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if the network has no peers (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The underlying Chord ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The hash groups (shared by all peers — the global schema of §2
+    /// includes the hash functions).
+    pub fn groups(&self) -> &HashGroups {
+        &self.groups
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Ring position of a partition identifier under the configured
+    /// placement policy.
+    pub fn place(&self, identifier: u32) -> Id {
+        match self.config.placement {
+            Placement::Uniformized => {
+                Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes()))
+            }
+            Placement::Direct => Id(identifier),
+        }
+    }
+
+    /// A peer's storage state.
+    pub fn peer(&self, id: Id) -> Option<&Peer> {
+        self.peers.get(&id.0)
+    }
+
+    /// Partition counts per peer, ring order (Fig. 11's metric).
+    pub fn load_distribution(&self) -> Vec<usize> {
+        self.ring
+            .node_ids()
+            .iter()
+            .map(|id| self.peers[&id.0].partition_count())
+            .collect()
+    }
+
+    /// Total partitions stored across all peers.
+    pub fn total_partitions(&self) -> usize {
+        self.peers.values().map(Peer::partition_count).sum()
+    }
+
+    /// Execute one range query through the full §4 procedure.
+    pub fn query(&mut self, q: &RangeSet) -> QueryOutcome {
+        let padding = self.config.padding;
+        self.query_padded(q, padding)
+    }
+
+    /// Like [`Self::query`] but with an explicit padding fraction for this
+    /// query, overriding the configured one — the hook the adaptive
+    /// padding policy (paper §6 future work; [`crate::adaptive`]) uses.
+    pub fn query_padded(&mut self, q: &RangeSet, padding: f64) -> QueryOutcome {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        assert!(padding >= 0.0, "padding must be non-negative");
+        // §5.2 padding: expand before hashing/matching/caching.
+        let hashed_range = if padding > 0.0 {
+            q.pad(padding)
+        } else {
+            q.clone()
+        };
+        let identifiers = self.groups.identifiers(&hashed_range);
+
+        // Pick a random origin peer for routing (hop accounting).
+        let origin = {
+            let ids = self.ring.node_ids();
+            ids[self.rng.gen_index(ids.len())]
+        };
+
+        // Route each identifier; collect each owner's best bucket match.
+        let mut hops = Vec::with_capacity(identifiers.len());
+        let mut owners = Vec::with_capacity(identifiers.len());
+        let mut best: Option<Match> = None;
+        for &ident in &identifiers {
+            let (owner, h) = self.ring.lookup(origin, self.place(ident));
+            hops.push(h);
+            owners.push(owner);
+            self.stats.lookups += 1;
+            self.stats.total_hops += h as u64;
+            let peer = &self.peers[&owner.0];
+            let candidate = if self.config.use_local_index {
+                peer.best_across_buckets(&hashed_range, self.config.matching)
+            } else {
+                peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+            };
+            if let Some(m) = candidate {
+                let better = match &best {
+                    None => true,
+                    Some(b) => m.score > b.score,
+                };
+                if better {
+                    best = Some(m);
+                }
+            }
+        }
+
+        let exact = best
+            .as_ref()
+            .map(|m| m.range == hashed_range)
+            .unwrap_or(false);
+
+        // Cache on miss: store the (padded) partition at all l owners.
+        let mut stored = false;
+        if self.config.cache_on_miss && !exact {
+            for (&ident, owner) in identifiers.iter().zip(&owners) {
+                let peer = self.peers.get_mut(&owner.0).expect("owner must exist");
+                stored |= peer.store(ident, hashed_range.clone());
+            }
+        }
+
+        // Score the match against the *original* query: similarity for
+        // Figs. 6–7, recall for Figs. 8–10.
+        let (similarity, recall, best_match) = match &best {
+            Some(m) => (q.jaccard(&m.range), q.containment_in(&m.range), Some(m.range.clone())),
+            None => (0.0, 0.0, None),
+        };
+
+        let mut distinct = owners.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        self.stats.queries += 1;
+        if best_match.is_some() {
+            self.stats.matched += 1;
+        }
+        if exact {
+            self.stats.exact += 1;
+        }
+        if stored {
+            self.stats.stored += 1;
+        }
+
+        QueryOutcome {
+            query: q.clone(),
+            best_match,
+            similarity,
+            recall,
+            exact,
+            stored,
+            hops,
+            identifiers,
+            peers_contacted: distinct.len(),
+        }
+    }
+
+    /// Run a whole trace, returning per-query outcomes.
+    pub fn run_trace<'a, I: IntoIterator<Item = &'a RangeSet>>(
+        &mut self,
+        queries: I,
+    ) -> Vec<QueryOutcome> {
+        queries.into_iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Store a partition range directly (bypassing the query path) — used
+    /// by the load-balance experiments, which populate the table without
+    /// measuring match quality.
+    pub fn store_partition(&mut self, range: &RangeSet) {
+        let identifiers = self.groups.identifiers(range);
+        for ident in identifiers {
+            let owner = self.ring.successor_of(self.place(ident));
+            self.peers
+                .get_mut(&owner.0)
+                .expect("owner must exist")
+                .store(ident, range.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchMeasure;
+    use ars_lsh::LshFamilyKind;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    fn net(n: usize) -> RangeSelectNetwork {
+        RangeSelectNetwork::new(n, SystemConfig::default().with_seed(99))
+    }
+
+    #[test]
+    fn first_query_misses_and_caches() {
+        let mut n = net(50);
+        let out = n.query(&r(30, 50));
+        assert!(out.best_match.is_none());
+        assert_eq!(out.similarity, 0.0);
+        assert_eq!(out.recall, 0.0);
+        assert!(!out.exact);
+        assert!(out.stored);
+        assert_eq!(out.hops.len(), 5);
+        assert_eq!(out.identifiers.len(), 5);
+        assert!(out.peers_contacted >= 1 && out.peers_contacted <= 5);
+        assert!(n.total_partitions() >= 1);
+    }
+
+    #[test]
+    fn identical_requery_is_exact() {
+        let mut n = net(50);
+        n.query(&r(30, 50));
+        let out = n.query(&r(30, 50));
+        assert!(out.exact);
+        assert_eq!(out.recall, 1.0);
+        assert_eq!(out.similarity, 1.0);
+        assert_eq!(out.best_match, Some(r(30, 50)));
+        // Exact hit: nothing new stored.
+        assert!(!out.stored);
+    }
+
+    #[test]
+    fn similar_query_usually_finds_neighbor() {
+        // [30,50] cached; [30,49] has J ≈ 0.95 — with k=20, l=5 the match
+        // probability is ~0.98 per the amplification curve. Use several
+        // independent networks to avoid flakiness.
+        let mut hits = 0;
+        for seed in 0..10 {
+            let mut n =
+                RangeSelectNetwork::new(50, SystemConfig::default().with_seed(seed));
+            n.query(&r(30, 50));
+            let out = n.query(&r(30, 49));
+            if out.best_match == Some(r(30, 50)) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 7, "only {hits}/10 near-identical queries matched");
+    }
+
+    #[test]
+    fn dissimilar_query_does_not_match() {
+        let mut n = net(50);
+        n.query(&r(0, 20));
+        let out = n.query(&r(500, 600));
+        assert!(out.best_match.is_none() || out.similarity == 0.0);
+    }
+
+    #[test]
+    fn cache_off_never_stores() {
+        let mut n = RangeSelectNetwork::new(
+            30,
+            SystemConfig::default().with_cache_on_miss(false),
+        );
+        n.query(&r(1, 10));
+        n.query(&r(1, 10));
+        assert_eq!(n.total_partitions(), 0);
+        assert_eq!(n.stats().stored, 0);
+    }
+
+    #[test]
+    fn padding_stores_padded_range() {
+        let mut n = RangeSelectNetwork::new(
+            30,
+            SystemConfig::default().with_padding(0.2).with_seed(5),
+        );
+        // [100,199] padded 20% → [80,219].
+        n.query(&r(100, 199));
+        let padded = r(80, 219);
+        let found = n
+            .ring()
+            .node_ids()
+            .iter()
+            .any(|id| n.peer(*id).unwrap().contains_range(&padded));
+        assert!(found, "padded partition not stored anywhere");
+    }
+
+    #[test]
+    fn padded_requery_recall_exceeds_query() {
+        // A query contained in a previously-padded partition gets full
+        // recall even though it is not identical.
+        let mut n = RangeSelectNetwork::new(
+            30,
+            SystemConfig::default()
+                .with_padding(0.2)
+                .with_matching(MatchMeasure::Containment)
+                .with_seed(11),
+        );
+        n.query(&r(100, 199)); // stores [80, 219]
+        let out = n.query(&r(100, 199));
+        assert_eq!(out.recall, 1.0);
+    }
+
+    #[test]
+    fn local_index_finds_matches_plain_bucket_misses() {
+        // Store under one identifier set; query with a range similar enough
+        // to land on the same *peer* in a tiny network but under different
+        // identifiers. With few peers, every identifier maps to one of few
+        // peers, so the local index sees everything stored there.
+        let config = SystemConfig::default().with_seed(3);
+        let mut plain = RangeSelectNetwork::new(2, config.clone());
+        let mut indexed = RangeSelectNetwork::new(2, config.with_local_index(true));
+        for n in [&mut plain, &mut indexed] {
+            n.query(&r(200, 300));
+        }
+        let q = r(190, 310); // similar but likely different identifiers
+        let out_plain = plain.query(&q);
+        let out_indexed = indexed.query(&q);
+        assert!(out_indexed.recall >= out_plain.recall);
+        // With 2 peers the indexed system must at least see the partition.
+        assert!(out_indexed.best_match.is_some());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net(20);
+        n.query(&r(0, 10));
+        n.query(&r(0, 10));
+        let s = n.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.exact, 1);
+        assert_eq!(s.lookups, 10);
+        assert!(s.matched >= 1);
+    }
+
+    #[test]
+    fn store_partition_places_l_copies() {
+        let mut n = net(100);
+        n.store_partition(&r(5, 25));
+        // l=5 identifiers; distinct owners may coincide, but the total
+        // stored count equals the number of distinct (identifier, owner)
+        // pairs — at most 5, at least 1.
+        let total = n.total_partitions();
+        assert!((1..=5).contains(&total), "stored {total} copies");
+    }
+
+    #[test]
+    fn linear_family_finds_exact_match() {
+        let mut n = RangeSelectNetwork::new(
+            30,
+            SystemConfig::default()
+                .with_family(LshFamilyKind::Linear)
+                .with_seed(8),
+        );
+        n.query(&r(30, 50));
+        let out = n.query(&r(30, 50));
+        assert!(out.exact, "linear permutations must find identical ranges");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_query_rejected() {
+        net(5).query(&RangeSet::empty());
+    }
+
+    #[test]
+    fn run_trace_collects_outcomes() {
+        let mut n = net(20);
+        let queries = [r(0, 5), r(10, 20), r(0, 5)];
+        let outs = n.run_trace(queries.iter());
+        assert_eq!(outs.len(), 3);
+        assert!(outs[2].exact);
+    }
+}

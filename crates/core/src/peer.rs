@@ -1,0 +1,204 @@
+//! Per-peer storage state: identifier buckets and the §5.3 local index.
+
+use crate::bucket::{best_of, Bucket, Match};
+use crate::config::MatchMeasure;
+use crate::index::IntervalIndex;
+use ars_chord::Id;
+use ars_common::FxHashMap;
+use ars_lsh::RangeSet;
+
+/// One peer's cached-partition store.
+///
+/// A peer owns every identifier between its ring predecessor (exclusive)
+/// and itself (inclusive); each owned identifier that has been stored to
+/// has a [`Bucket`]. The optional *local index* (§5.3) additionally lets a
+/// lookup consider partitions in **all** of the peer's buckets, trading
+/// per-lookup work for recall.
+#[derive(Debug, Clone, Default)]
+pub struct Peer {
+    /// Ring position.
+    pub id: Id,
+    buckets: FxHashMap<u32, Bucket>,
+    /// §5.3 local index over everything in `buckets`, maintained on store.
+    index: IntervalIndex,
+}
+
+impl Peer {
+    /// A peer at ring position `id` with no cached partitions.
+    pub fn new(id: Id) -> Peer {
+        Peer {
+            id,
+            buckets: FxHashMap::default(),
+            index: IntervalIndex::new(),
+        }
+    }
+
+    /// Store a partition range under `identifier`. Returns true if newly
+    /// stored.
+    pub fn store(&mut self, identifier: u32, range: RangeSet) -> bool {
+        let inserted = self
+            .buckets
+            .entry(identifier)
+            .or_default()
+            .insert(range.clone());
+        if inserted {
+            self.index.insert(range);
+        }
+        inserted
+    }
+
+    /// The bucket for `identifier`, if any partition was ever stored there.
+    pub fn bucket(&self, identifier: u32) -> Option<&Bucket> {
+        self.buckets.get(&identifier)
+    }
+
+    /// Best match for `query` looking only at `identifier`'s bucket
+    /// (the paper's base procedure).
+    pub fn best_in_bucket(
+        &self,
+        identifier: u32,
+        query: &RangeSet,
+        measure: MatchMeasure,
+    ) -> Option<Match> {
+        self.buckets
+            .get(&identifier)
+            .and_then(|b| b.best_match(query, measure))
+    }
+
+    /// Best match across **all** buckets this peer holds — the §5.3 local
+    /// index, answered through a flattened interval tree
+    /// ([`IntervalIndex`]): only candidates overlapping the query are
+    /// scored.
+    pub fn best_across_buckets(&self, query: &RangeSet, measure: MatchMeasure) -> Option<Match> {
+        self.index.best_match(query, measure)
+    }
+
+    /// Reference implementation of [`Self::best_across_buckets`] as a full
+    /// scan — the ablation baseline and test oracle for the index.
+    pub fn best_across_buckets_scan(
+        &self,
+        query: &RangeSet,
+        measure: MatchMeasure,
+    ) -> Option<Match> {
+        best_of(
+            self.buckets.values().flat_map(|b| b.ranges().iter()),
+            query,
+            measure,
+        )
+    }
+
+    /// Total partitions stored at this peer (the load metric of Fig. 11).
+    pub fn partition_count(&self) -> usize {
+        self.buckets.values().map(Bucket::len).sum()
+    }
+
+    /// Number of distinct identifiers with a non-empty bucket.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if this peer stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// True if any bucket stores exactly this range.
+    pub fn contains_range(&self, range: &RangeSet) -> bool {
+        self.buckets.values().any(|b| b.contains(range))
+    }
+
+    /// Drain all stored (identifier, range) pairs — used when a peer leaves
+    /// gracefully and hands its keys to its successor.
+    pub fn drain(&mut self) -> Vec<(u32, RangeSet)> {
+        let mut out = Vec::new();
+        for (ident, bucket) in self.buckets.drain() {
+            for r in bucket.ranges() {
+                out.push((ident, r.clone()));
+            }
+        }
+        self.index = IntervalIndex::new();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    #[test]
+    fn store_and_count() {
+        let mut p = Peer::new(Id(42));
+        assert!(p.is_empty());
+        assert!(p.store(7, r(0, 10)));
+        assert!(p.store(7, r(20, 30)));
+        assert!(!p.store(7, r(0, 10))); // dedup within bucket
+        assert!(p.store(9, r(0, 10))); // same range, different bucket: kept
+        assert_eq!(p.partition_count(), 3);
+        assert_eq!(p.bucket_count(), 2);
+    }
+
+    #[test]
+    fn best_in_bucket_scoped_to_identifier() {
+        let mut p = Peer::new(Id(1));
+        p.store(7, r(0, 10));
+        p.store(9, r(100, 110));
+        let q = r(100, 110);
+        // Identifier 7's bucket does not see the exact match under id 9.
+        let m7 = p.best_in_bucket(7, &q, MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m7.score, 0.0);
+        let m9 = p.best_in_bucket(9, &q, MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m9.score, 1.0);
+        assert!(p.best_in_bucket(999, &q, MatchMeasure::Jaccard).is_none());
+    }
+
+    #[test]
+    fn index_agrees_with_scan() {
+        let mut p = Peer::new(Id(2));
+        for i in 0..50u32 {
+            p.store(i % 7, r(i * 13 % 800, i * 13 % 800 + 40));
+        }
+        for lo in [0u32, 100, 400, 700] {
+            let q = r(lo, lo + 60);
+            for m in [MatchMeasure::Jaccard, MatchMeasure::Containment] {
+                let a = p.best_across_buckets(&q, m).unwrap();
+                let b = p.best_across_buckets_scan(&q, m).unwrap();
+                assert_eq!(a.score, b.score, "query {q} measure {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_index_sees_all_buckets() {
+        let mut p = Peer::new(Id(1));
+        p.store(7, r(0, 10));
+        p.store(9, r(100, 110));
+        let q = r(100, 110);
+        let m = p.best_across_buckets(&q, MatchMeasure::Jaccard).unwrap();
+        assert_eq!(m.score, 1.0);
+        assert_eq!(m.range, r(100, 110));
+    }
+
+    #[test]
+    fn local_index_empty_peer() {
+        let p = Peer::new(Id(0));
+        assert!(p.best_across_buckets(&r(0, 1), MatchMeasure::Jaccard).is_none());
+    }
+
+    #[test]
+    fn drain_hands_over_everything() {
+        let mut p = Peer::new(Id(1));
+        p.store(7, r(0, 10));
+        p.store(9, r(100, 110));
+        let mut handed = p.drain();
+        handed.sort_by_key(|(i, _)| *i);
+        assert_eq!(handed.len(), 2);
+        assert_eq!(handed[0], (7, r(0, 10)));
+        assert_eq!(handed[1], (9, r(100, 110)));
+        assert!(p.is_empty());
+        assert_eq!(p.partition_count(), 0);
+    }
+}

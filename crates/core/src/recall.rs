@@ -1,0 +1,120 @@
+//! Aggregating query outcomes into the paper's figure series.
+
+use crate::network::QueryOutcome;
+use ars_common::stats::{pct_at_least, Histogram};
+
+/// Recall thresholds used for the Figs. 8–10 curves (x-axis points from
+/// 1.0 down to 0.0 as the paper draws them).
+pub const RECALL_THRESHOLDS: [f64; 11] = [
+    1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0,
+];
+
+/// The Figs. 6–7 series: a 10-bin histogram over `[0, 1]` of the Jaccard
+/// similarity of each query's matched partition, as *percentages of
+/// queries*. Queries with no match land in the first bin (similarity 0),
+/// as in the paper's plots.
+pub fn similarity_histogram(outcomes: &[QueryOutcome]) -> Histogram {
+    let mut h = Histogram::new(0.0, 1.0, 10);
+    for o in outcomes {
+        h.record(o.similarity);
+    }
+    h
+}
+
+/// The Figs. 8–10 series: for each threshold `t` in
+/// [`RECALL_THRESHOLDS`], the percentage of queries whose recall is ≥ `t`
+/// ("percentage of queries answered up to a given portion").
+pub fn recall_curve(outcomes: &[QueryOutcome]) -> Vec<(f64, f64)> {
+    let recalls: Vec<f64> = outcomes.iter().map(|o| o.recall).collect();
+    let pct = pct_at_least(&recalls, &RECALL_THRESHOLDS);
+    RECALL_THRESHOLDS.iter().copied().zip(pct).collect()
+}
+
+/// Percentage of queries answered completely (recall = 1): the headline
+/// number the paper quotes per configuration (≈30% min-wise, ≈35% approx,
+/// ≈50% linear, ≈60% containment, ≈70% padded).
+pub fn pct_fully_answered(outcomes: &[QueryOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    let n = outcomes.iter().filter(|o| o.recall >= 1.0).count();
+    100.0 * n as f64 / outcomes.len() as f64
+}
+
+/// Mean recall across queries.
+pub fn mean_recall(outcomes: &[QueryOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(|o| o.recall).sum::<f64>() / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ars_lsh::RangeSet;
+
+    fn outcome(similarity: f64, recall: f64) -> QueryOutcome {
+        QueryOutcome {
+            query: RangeSet::interval(0, 1),
+            best_match: if similarity > 0.0 {
+                Some(RangeSet::interval(0, 1))
+            } else {
+                None
+            },
+            similarity,
+            recall,
+            exact: false,
+            stored: false,
+            hops: vec![],
+            identifiers: vec![],
+            peers_contacted: 0,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_similarities() {
+        let outs = vec![
+            outcome(0.0, 0.0),
+            outcome(0.95, 1.0),
+            outcome(0.92, 0.9),
+            outcome(0.45, 0.5),
+        ];
+        let h = similarity_histogram(&outs);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[9], 2); // two in [0.9, 1.0]
+        assert_eq!(h.counts()[4], 1); // one in [0.4, 0.5)
+        assert_eq!(h.counts()[0], 1); // the unmatched query
+    }
+
+    #[test]
+    fn recall_curve_monotone_nonincreasing_in_threshold() {
+        let outs: Vec<QueryOutcome> = (0..=10)
+            .map(|i| outcome(0.5, i as f64 / 10.0))
+            .collect();
+        let curve = recall_curve(&outs);
+        assert_eq!(curve.len(), RECALL_THRESHOLDS.len());
+        // Thresholds descend 1.0 → 0.0, so percentages ascend.
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        // Everything has recall ≥ 0.
+        assert_eq!(curve.last().unwrap().1, 100.0);
+        // Exactly one of 11 has recall ≥ 1.0.
+        assert!((curve[0].1 - 100.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_answered_percentage() {
+        let outs = vec![outcome(1.0, 1.0), outcome(0.5, 0.5), outcome(0.0, 0.0)];
+        assert!((pct_fully_answered(&outs) - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(pct_fully_answered(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_recall_basic() {
+        let outs = vec![outcome(1.0, 1.0), outcome(0.0, 0.0)];
+        assert!((mean_recall(&outs) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_recall(&[]), 0.0);
+    }
+}

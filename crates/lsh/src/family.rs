@@ -1,0 +1,239 @@
+//! Unified interface over the three LSH families evaluated in the paper.
+//!
+//! Hot loops hash thousands of ranges through `k·l = 100` functions, so the
+//! dispatch is a plain enum rather than trait objects — the compiler keeps
+//! everything inlined and there is one allocation-free call per function.
+
+use crate::approx::ApproxMinWisePerm;
+use crate::linear::LinearPerm;
+use crate::minwise::MinWisePerm;
+use crate::range::RangeSet;
+use ars_common::DetRng;
+
+/// Which hash family to use (the paper's three candidates, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LshFamilyKind {
+    /// Full min-wise independent permutations (5-level GRP network).
+    MinWise,
+    /// First iteration only (single 32-bit key).
+    ApproxMinWise,
+    /// `π(x) = a·x + b mod p` evaluated by enumeration (as the paper times it).
+    Linear,
+    /// `π(x) = a·x + b mod p` with the closed-form `O(log p)` interval
+    /// minimum — our extension (DESIGN.md §6.2); hash values are identical
+    /// to [`LshFamilyKind::Linear`].
+    LinearClosedForm,
+    /// `π(x) = a·x + b mod p` with `p = 1009`, a permutation of the §5.1
+    /// *attribute domain* rather than the 32-bit space. Identifiers then
+    /// occupy ~10 bits, so dissimilar ranges frequently share buckets —
+    /// the "loose matching" behaviour the paper reports for its linear
+    /// permutations (see EXPERIMENTS.md).
+    LinearDomain,
+}
+
+impl LshFamilyKind {
+    /// All paper families (excludes our closed-form variant, which is
+    /// value-identical to `Linear`).
+    pub const PAPER_FAMILIES: [LshFamilyKind; 3] = [
+        LshFamilyKind::MinWise,
+        LshFamilyKind::ApproxMinWise,
+        LshFamilyKind::Linear,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LshFamilyKind::MinWise => "min-wise independent",
+            LshFamilyKind::ApproxMinWise => "approx. min-wise independent",
+            LshFamilyKind::Linear => "linear",
+            LshFamilyKind::LinearClosedForm => "linear (closed form)",
+            LshFamilyKind::LinearDomain => "linear (domain modulus)",
+        }
+    }
+}
+
+impl std::fmt::Display for LshFamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One hash function drawn from a family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LshFunction {
+    /// Full min-wise permutation.
+    MinWise(MinWisePerm),
+    /// Approximate (one-iteration) permutation.
+    Approx(ApproxMinWisePerm),
+    /// Linear permutation, enumerated evaluation.
+    Linear(LinearPerm),
+    /// Linear permutation, closed-form evaluation.
+    LinearClosedForm(LinearPerm),
+    /// Linear permutation of the small attribute domain.
+    LinearDomain(LinearPerm),
+}
+
+impl LshFunction {
+    /// Draw a random function from `kind`'s family.
+    pub fn random(kind: LshFamilyKind, rng: &mut DetRng) -> LshFunction {
+        match kind {
+            LshFamilyKind::MinWise => LshFunction::MinWise(MinWisePerm::random(rng)),
+            LshFamilyKind::ApproxMinWise => LshFunction::Approx(ApproxMinWisePerm::random(rng)),
+            LshFamilyKind::Linear => LshFunction::Linear(LinearPerm::random(rng)),
+            LshFamilyKind::LinearClosedForm => {
+                LshFunction::LinearClosedForm(LinearPerm::random(rng))
+            }
+            LshFamilyKind::LinearDomain => LshFunction::LinearDomain(
+                LinearPerm::random_with_modulus(rng, crate::linear::DOMAIN_MODULUS),
+            ),
+        }
+    }
+
+    /// The family this function belongs to.
+    pub fn kind(&self) -> LshFamilyKind {
+        match self {
+            LshFunction::MinWise(_) => LshFamilyKind::MinWise,
+            LshFunction::Approx(_) => LshFamilyKind::ApproxMinWise,
+            LshFunction::Linear(_) => LshFamilyKind::Linear,
+            LshFunction::LinearClosedForm(_) => LshFamilyKind::LinearClosedForm,
+            LshFunction::LinearDomain(_) => LshFamilyKind::LinearDomain,
+        }
+    }
+
+    /// Min-hash of a range set.
+    #[inline]
+    pub fn min_hash(&self, q: &RangeSet) -> u32 {
+        match self {
+            LshFunction::MinWise(p) => p.min_hash(q),
+            LshFunction::Approx(p) => p.min_hash(q),
+            LshFunction::Linear(p) => p.min_hash_enumerate(q),
+            LshFunction::LinearClosedForm(p) => p.min_hash(q),
+            LshFunction::LinearDomain(p) => p.min_hash_enumerate(q),
+        }
+    }
+
+    /// Apply the underlying permutation to a single value.
+    #[inline]
+    pub fn permute(&self, x: u32) -> u32 {
+        match self {
+            LshFunction::MinWise(p) => p.permute(x),
+            LshFunction::Approx(p) => p.permute(x),
+            LshFunction::Linear(p)
+            | LshFunction::LinearClosedForm(p)
+            | LshFunction::LinearDomain(p) => p.permute(x),
+        }
+    }
+
+    /// Compile into the fastest value-identical evaluator: table-driven
+    /// bit permutation for the GRP families, closed-form interval minimum
+    /// for the linear families.
+    pub fn compile(&self) -> CompiledLshFunction {
+        match self {
+            LshFunction::MinWise(p) => CompiledLshFunction::Bit(p.compile()),
+            LshFunction::Approx(p) => CompiledLshFunction::Bit(p.compile()),
+            LshFunction::Linear(p)
+            | LshFunction::LinearClosedForm(p)
+            | LshFunction::LinearDomain(p) => CompiledLshFunction::Linear(*p),
+        }
+    }
+}
+
+/// An evaluation-optimized LSH function (see [`LshFunction::compile`]).
+/// Hash values are bit-identical to the source function's; only the cost
+/// changes. The `hash_ablation` bench quantifies the difference.
+#[derive(Debug, Clone)]
+pub enum CompiledLshFunction {
+    /// Table-driven fixed bit permutation (min-wise / approx families).
+    Bit(crate::grp::BitPerm),
+    /// Linear permutation evaluated with the closed-form interval minimum.
+    Linear(LinearPerm),
+}
+
+impl CompiledLshFunction {
+    /// Min-hash of a range set.
+    #[inline]
+    pub fn min_hash(&self, q: &RangeSet) -> u32 {
+        match self {
+            CompiledLshFunction::Bit(p) => {
+                assert!(!q.is_empty(), "min-hash of an empty range set");
+                q.iter().map(|v| p.permute(v)).min().unwrap()
+            }
+            CompiledLshFunction::Linear(p) => p.min_hash(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_function_matches_kind() {
+        let mut rng = DetRng::new(1);
+        for kind in [
+            LshFamilyKind::MinWise,
+            LshFamilyKind::ApproxMinWise,
+            LshFamilyKind::Linear,
+            LshFamilyKind::LinearClosedForm,
+            LshFamilyKind::LinearDomain,
+        ] {
+            let f = LshFunction::random(kind, &mut rng);
+            assert_eq!(f.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn linear_and_closed_form_hash_identically() {
+        // Same RNG seed → same coefficients → identical hash values.
+        let mut r1 = DetRng::new(9);
+        let mut r2 = DetRng::new(9);
+        let f_enum = LshFunction::random(LshFamilyKind::Linear, &mut r1);
+        let f_cf = LshFunction::random(LshFamilyKind::LinearClosedForm, &mut r2);
+        for (lo, hi) in [(0u32, 10u32), (30, 50), (100, 1500), (999, 999)] {
+            let q = RangeSet::interval(lo, hi);
+            assert_eq!(f_enum.min_hash(&q), f_cf.min_hash(&q));
+        }
+    }
+
+    #[test]
+    fn min_hash_is_min_of_permuted_values() {
+        let mut rng = DetRng::new(5);
+        let q = RangeSet::interval(100, 120);
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let f = LshFunction::random(kind, &mut rng);
+            let expect = q.iter().map(|v| f.permute(v)).min().unwrap();
+            assert_eq!(f.min_hash(&q), expect, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = [
+            LshFamilyKind::MinWise,
+            LshFamilyKind::ApproxMinWise,
+            LshFamilyKind::Linear,
+            LshFamilyKind::LinearClosedForm,
+            LshFamilyKind::LinearDomain,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn domain_family_hashes_stay_small() {
+        let mut rng = DetRng::new(4);
+        let f = LshFunction::random(LshFamilyKind::LinearDomain, &mut rng);
+        let q = RangeSet::interval(30, 50);
+        assert!(f.min_hash(&q) < crate::linear::DOMAIN_MODULUS as u32);
+        // Compiled path agrees.
+        assert_eq!(f.compile().min_hash(&q), f.min_hash(&q));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", LshFamilyKind::Linear), "linear");
+    }
+}

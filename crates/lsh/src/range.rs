@@ -1,0 +1,502 @@
+//! Range sets: the set-of-integer-values view of a selection range.
+//!
+//! The paper treats a selection `30 ≤ age ≤ 50` as the set
+//! `{30, 31, …, 50}` (§4). A [`RangeSet`] represents such a set as sorted,
+//! disjoint, non-adjacent inclusive intervals, so similarity measures over
+//! *huge* ranges are computed in closed form from interval overlaps instead
+//! of materializing the values. Padded queries (§5.2) and multi-interval
+//! sets (e.g. the union of two cached partitions) are supported uniformly.
+
+use std::fmt;
+
+/// A set of `u32` values stored as sorted, disjoint, non-adjacent inclusive
+/// intervals.
+///
+/// Invariants (maintained by all constructors):
+/// * intervals are sorted by start;
+/// * for consecutive intervals `(a₀, a₁)`, `(b₀, b₁)`: `a₁ + 1 < b₀`
+///   (disjoint and non-adjacent, so the representation is canonical);
+/// * each interval satisfies `lo ≤ hi`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RangeSet {
+    intervals: Vec<(u32, u32)>,
+}
+
+impl fmt::Debug for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RangeSet{{")?;
+        for (i, (lo, hi)) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{lo},{hi}]")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for RangeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn empty() -> RangeSet {
+        RangeSet {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// A single contiguous inclusive interval `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn interval(lo: u32, hi: u32) -> RangeSet {
+        assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        RangeSet {
+            intervals: vec![(lo, hi)],
+        }
+    }
+
+    /// Build from arbitrary (possibly overlapping, unsorted) intervals,
+    /// normalizing to the canonical representation.
+    pub fn from_intervals<I: IntoIterator<Item = (u32, u32)>>(intervals: I) -> RangeSet {
+        let mut v: Vec<(u32, u32)> = intervals
+            .into_iter()
+            .inspect(|&(lo, hi)| assert!(lo <= hi, "invalid interval [{lo}, {hi}]"))
+            .collect();
+        v.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(v.len());
+        for (lo, hi) in v {
+            match out.last_mut() {
+                // Merge overlapping or adjacent intervals.
+                Some(last) if lo <= last.1.saturating_add(1) => {
+                    last.1 = last.1.max(hi);
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        RangeSet { intervals: out }
+    }
+
+    /// Build from individual values.
+    pub fn from_values<I: IntoIterator<Item = u32>>(values: I) -> RangeSet {
+        RangeSet::from_intervals(values.into_iter().map(|v| (v, v)))
+    }
+
+    /// The canonical interval list.
+    pub fn intervals(&self) -> &[(u32, u32)] {
+        &self.intervals
+    }
+
+    /// Number of values in the set (cardinality).
+    pub fn len(&self) -> u64 {
+        self.intervals
+            .iter()
+            .map(|&(lo, hi)| (hi - lo) as u64 + 1)
+            .sum()
+    }
+
+    /// True if the set contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Smallest value, if non-empty.
+    pub fn min_value(&self) -> Option<u32> {
+        self.intervals.first().map(|&(lo, _)| lo)
+    }
+
+    /// Largest value, if non-empty.
+    pub fn max_value(&self) -> Option<u32> {
+        self.intervals.last().map(|&(_, hi)| hi)
+    }
+
+    /// Membership test (binary search over intervals).
+    pub fn contains(&self, v: u32) -> bool {
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Iterate all values in ascending order.
+    ///
+    /// Beware: this materializes each value — use the closed-form similarity
+    /// methods for large sets.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.intervals.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+
+    /// Cardinality of the intersection with `other`, in closed form.
+    pub fn intersection_len(&self, other: &RangeSet) -> u64 {
+        // Merge-scan over two sorted interval lists.
+        let (mut i, mut j) = (0, 0);
+        let mut total = 0u64;
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a0, a1) = self.intervals[i];
+            let (b0, b1) = other.intervals[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo <= hi {
+                total += (hi - lo) as u64 + 1;
+            }
+            if a1 < b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    /// Cardinality of the union with `other`.
+    pub fn union_len(&self, other: &RangeSet) -> u64 {
+        self.len() + other.len() - self.intersection_len(other)
+    }
+
+    /// The intersection as a new `RangeSet`.
+    pub fn intersection(&self, other: &RangeSet) -> RangeSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a0, a1) = self.intervals[i];
+            let (b0, b1) = other.intervals[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if a1 < b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        // Intersection of canonical sets is already canonical.
+        RangeSet { intervals: out }
+    }
+
+    /// The union as a new `RangeSet`.
+    pub fn union(&self, other: &RangeSet) -> RangeSet {
+        RangeSet::from_intervals(
+            self.intervals
+                .iter()
+                .chain(other.intervals.iter())
+                .copied(),
+        )
+    }
+
+    /// Jaccard set similarity `|A∩B| / |A∪B|` (the measure the paper's LSH
+    /// families are locality-sensitive for). Two empty sets have similarity 1.
+    pub fn jaccard(&self, other: &RangeSet) -> f64 {
+        let union = self.union_len(other);
+        if union == 0 {
+            return 1.0;
+        }
+        self.intersection_len(other) as f64 / union as f64
+    }
+
+    /// Containment similarity `|Q∩R| / |Q|` where `Q = self` is the query.
+    ///
+    /// This is the paper's §3.2 containment measure: it has no LSH family
+    /// (its distance violates the triangle inequality) but is the better
+    /// *matching* criterion once a bucket has been located (§5.2, Fig. 9).
+    /// An empty query is fully contained by definition.
+    pub fn containment_in(&self, r: &RangeSet) -> f64 {
+        let q_len = self.len();
+        if q_len == 0 {
+            return 1.0;
+        }
+        self.intersection_len(r) as f64 / q_len as f64
+    }
+
+    /// Expand every interval by `frac` of its width on each edge (the
+    /// paper's §5.2 *query padding*; the paper evaluates `frac = 0.2`).
+    ///
+    /// The expansion is clamped to the `u32` domain and computed per
+    /// interval; overlapping expansions are re-normalized.
+    pub fn pad(&self, frac: f64) -> RangeSet {
+        assert!(frac >= 0.0, "padding fraction must be non-negative");
+        if frac == 0.0 {
+            return self.clone();
+        }
+        RangeSet::from_intervals(self.intervals.iter().map(|&(lo, hi)| {
+            let width = (hi - lo) as u64 + 1;
+            let pad = (width as f64 * frac).round() as u64;
+            let new_lo = (lo as u64).saturating_sub(pad) as u32;
+            let new_hi = ((hi as u64 + pad).min(u32::MAX as u64)) as u32;
+            (new_lo, new_hi)
+        }))
+    }
+
+    /// True if every value of `self` is contained in `other`.
+    pub fn is_subset_of(&self, other: &RangeSet) -> bool {
+        self.intersection_len(other) == self.len()
+    }
+
+    /// The set difference `self \ other` — the part of a query a partial
+    /// match does *not* answer (used by residual fetching: serve the
+    /// overlap from the cache, fetch only this remainder from the source).
+    pub fn difference(&self, other: &RangeSet) -> RangeSet {
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut j = 0;
+        for &(lo, hi) in &self.intervals {
+            let mut cur = lo;
+            // Walk other's intervals overlapping [lo, hi].
+            while j < other.intervals.len() && other.intervals[j].1 < lo {
+                j += 1;
+            }
+            let mut k = j;
+            let mut exhausted = false;
+            while k < other.intervals.len() && other.intervals[k].0 <= hi {
+                let (olo, ohi) = other.intervals[k];
+                if olo > cur {
+                    out.push((cur, olo - 1));
+                }
+                if ohi >= hi {
+                    exhausted = true;
+                    break;
+                }
+                cur = cur.max(ohi.saturating_add(1));
+                k += 1;
+            }
+            if !exhausted && cur <= hi {
+                out.push((cur.max(lo), hi));
+            }
+        }
+        // Pieces are already sorted and disjoint, but adjacent pieces can
+        // touch across source intervals; normalize for the canonical form.
+        RangeSet::from_intervals(out)
+    }
+}
+
+impl From<std::ops::RangeInclusive<u32>> for RangeSet {
+    fn from(r: std::ops::RangeInclusive<u32>) -> RangeSet {
+        RangeSet::interval(*r.start(), *r.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let r = RangeSet::interval(30, 50);
+        assert_eq!(r.len(), 21);
+        assert!(!r.is_empty());
+        assert!(r.contains(30));
+        assert!(r.contains(50));
+        assert!(!r.contains(29));
+        assert!(!r.contains(51));
+        assert_eq!(r.min_value(), Some(30));
+        assert_eq!(r.max_value(), Some(50));
+    }
+
+    #[test]
+    fn empty_set() {
+        let e = RangeSet::empty();
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        assert!(!e.contains(0));
+        assert_eq!(e.min_value(), None);
+        assert_eq!(e.jaccard(&e), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn reversed_interval_panics() {
+        RangeSet::interval(5, 4);
+    }
+
+    #[test]
+    fn from_intervals_normalizes() {
+        let r = RangeSet::from_intervals([(10, 20), (15, 25), (26, 30), (40, 41)]);
+        // 10-20 and 15-25 overlap; 26 is adjacent to 25 so merges too.
+        assert_eq!(r.intervals(), &[(10, 30), (40, 41)]);
+        assert_eq!(r.len(), 23);
+    }
+
+    #[test]
+    fn from_values_collapses_runs() {
+        let r = RangeSet::from_values([5, 3, 4, 9, 7]);
+        assert_eq!(r.intervals(), &[(3, 5), (7, 7), (9, 9)]);
+    }
+
+    #[test]
+    fn iter_yields_sorted_values() {
+        let r = RangeSet::from_intervals([(1, 3), (7, 8)]);
+        let vals: Vec<u32> = r.iter().collect();
+        assert_eq!(vals, vec![1, 2, 3, 7, 8]);
+    }
+
+    #[test]
+    fn paper_example_overlap() {
+        // Query [30,49] vs cached [30,50]: answer fully contained.
+        let q = RangeSet::interval(30, 49);
+        let r = RangeSet::interval(30, 50);
+        assert_eq!(q.intersection_len(&r), 20);
+        assert_eq!(q.union_len(&r), 21);
+        assert!((q.jaccard(&r) - 20.0 / 21.0).abs() < 1e-12);
+        assert_eq!(q.containment_in(&r), 1.0);
+        assert!(q.is_subset_of(&r));
+        assert!(!r.is_subset_of(&q));
+    }
+
+    #[test]
+    fn disjoint_similarity_zero() {
+        let a = RangeSet::interval(0, 10);
+        let b = RangeSet::interval(20, 30);
+        assert_eq!(a.jaccard(&b), 0.0);
+        assert_eq!(a.containment_in(&b), 0.0);
+        assert_eq!(a.intersection_len(&b), 0);
+        assert!(a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn identical_similarity_one() {
+        let a = RangeSet::interval(5, 99);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(a.containment_in(&a), 1.0);
+    }
+
+    #[test]
+    fn multi_interval_intersection() {
+        let a = RangeSet::from_intervals([(0, 10), (20, 30), (40, 50)]);
+        let b = RangeSet::from_intervals([(5, 25), (45, 60)]);
+        // overlaps: [5,10] (6), [20,25] (6), [45,50] (6)
+        assert_eq!(a.intersection_len(&b), 18);
+        assert_eq!(
+            a.intersection(&b).intervals(),
+            &[(5, 10), (20, 25), (45, 50)]
+        );
+        assert_eq!(b.intersection_len(&a), 18, "intersection is symmetric");
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = RangeSet::interval(0, 5);
+        let b = RangeSet::interval(6, 10);
+        assert_eq!(a.union(&b).intervals(), &[(0, 10)]);
+        assert_eq!(a.union_len(&b), 11);
+    }
+
+    #[test]
+    fn pad_expands_by_fraction() {
+        // [100, 199]: width 100, 20% pad = 20 on each side.
+        let q = RangeSet::interval(100, 199);
+        let padded = q.pad(0.2);
+        assert_eq!(padded.intervals(), &[(80, 219)]);
+    }
+
+    #[test]
+    fn pad_clamps_at_domain_edges() {
+        let q = RangeSet::interval(0, 9);
+        let padded = q.pad(0.5);
+        assert_eq!(padded.intervals(), &[(0, 14)]);
+        let q_hi = RangeSet::interval(u32::MAX - 9, u32::MAX);
+        let padded_hi = q_hi.pad(0.5);
+        assert_eq!(padded_hi.intervals(), &[(u32::MAX - 14, u32::MAX)]);
+    }
+
+    #[test]
+    fn pad_zero_is_identity() {
+        let q = RangeSet::interval(10, 20);
+        assert_eq!(q.pad(0.0), q);
+    }
+
+    #[test]
+    fn pad_merges_expanded_intervals() {
+        let q = RangeSet::from_intervals([(0, 9), (15, 24)]);
+        // width 10 each, 50% pad = 5: [0,14] and [10,29] overlap → [0,29]
+        assert_eq!(q.pad(0.5).intervals(), &[(0, 29)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = RangeSet::from_intervals([(1, 2), (5, 5)]);
+        assert_eq!(format!("{r}"), "RangeSet{[1,2], [5,5]}");
+    }
+
+    #[test]
+    fn from_range_inclusive() {
+        let r: RangeSet = (3..=7).into();
+        assert_eq!(r.intervals(), &[(3, 7)]);
+    }
+
+    #[test]
+    fn containment_not_symmetric() {
+        let q = RangeSet::interval(0, 9); // 10 values
+        let r = RangeSet::interval(0, 99); // 100 values
+        assert_eq!(q.containment_in(&r), 1.0);
+        assert!((r.containment_in(&q) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_basic() {
+        let a = RangeSet::interval(0, 10);
+        let b = RangeSet::interval(3, 6);
+        assert_eq!(a.difference(&b).intervals(), &[(0, 2), (7, 10)]);
+        // Difference with a disjoint set is identity.
+        assert_eq!(a.difference(&RangeSet::interval(20, 30)), a);
+        // Difference with a superset is empty.
+        assert!(a.difference(&RangeSet::interval(0, 100)).is_empty());
+        // Self-difference is empty.
+        assert!(a.difference(&a).is_empty());
+        // Difference with empty is identity.
+        assert_eq!(a.difference(&RangeSet::empty()), a);
+    }
+
+    #[test]
+    fn difference_multi_interval() {
+        let a = RangeSet::from_intervals([(0, 10), (20, 30)]);
+        let b = RangeSet::from_intervals([(5, 25)]);
+        assert_eq!(a.difference(&b).intervals(), &[(0, 4), (26, 30)]);
+        // One hole spanning two source intervals.
+        let c = RangeSet::from_intervals([(8, 9), (22, 23)]);
+        assert_eq!(
+            a.difference(&c).intervals(),
+            &[(0, 7), (10, 10), (20, 21), (24, 30)]
+        );
+    }
+
+    #[test]
+    fn difference_brute_force_sweep() {
+        use std::collections::BTreeSet;
+        // Dense small-domain sweep against set subtraction.
+        let cases = [
+            (vec![(0u32, 5u32), (8, 12)], vec![(3u32, 9u32)]),
+            (vec![(0, 20)], vec![(0, 0), (5, 5), (20, 20)]),
+            (vec![(2, 4)], vec![(0, 10)]),
+            (vec![(0, 3), (5, 8), (10, 13)], vec![(1, 11)]),
+        ];
+        for (ai, bi) in cases {
+            let a = RangeSet::from_intervals(ai.iter().copied());
+            let b = RangeSet::from_intervals(bi.iter().copied());
+            let sa: BTreeSet<u32> = a.iter().collect();
+            let sb: BTreeSet<u32> = b.iter().collect();
+            let expect: Vec<u32> = sa.difference(&sb).copied().collect();
+            let got: Vec<u32> = a.difference(&b).iter().collect();
+            assert_eq!(got, expect, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn boundary_u32_max() {
+        let r = RangeSet::interval(u32::MAX - 1, u32::MAX);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(u32::MAX));
+        let m = RangeSet::from_intervals([(u32::MAX, u32::MAX), (0, 0)]);
+        assert_eq!(m.len(), 2);
+    }
+}

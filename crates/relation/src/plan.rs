@@ -1,0 +1,576 @@
+//! Logical plans and the select-pushdown planner.
+//!
+//! The paper's querying peer "converts the query into a plan where all the
+//! selects are moved toward the leaves as much as possible" (§2) — the
+//! classic algebraic optimization — so that each leaf is exactly a
+//! single-attribute selection on one relation, i.e. a horizontal partition
+//! the P2P layer can locate. [`Planner`] performs that conversion from a
+//! parsed query; [`LogicalPlan`] is the resulting operator tree.
+//!
+//! Naming convention: leaf scans re-qualify every attribute as
+//! `Relation.attr`, so references above the leaves are unambiguous.
+
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::sql::{AttrRef, CmpOp, Condition, Literal, ParsedQuery, Projection};
+use crate::value::{days_since_1900, Value, ValueType};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A logical operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Leaf: fetch the tuples of `relation` matching all `predicates`
+    /// (attribute names unqualified — they belong to `relation`).
+    Select {
+        /// Relation to read.
+        relation: String,
+        /// Pushed-down single-attribute predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Equi-join of two subplans on fully-qualified attributes.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join attribute in the left input (qualified).
+        left_attr: String,
+        /// Join attribute in the right input (qualified).
+        right_attr: String,
+    },
+    /// Projection onto fully-qualified attributes.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Qualified attributes to keep, in order.
+        attrs: Vec<String>,
+    },
+}
+
+impl LogicalPlan {
+    /// All leaf `Select` nodes, in left-to-right order — the partitions the
+    /// P2P layer must locate.
+    pub fn leaves(&self) -> Vec<(&str, &[Predicate])> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<(&'a str, &'a [Predicate])>) {
+        match self {
+            LogicalPlan::Select {
+                relation,
+                predicates,
+            } => out.push((relation, predicates)),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+            LogicalPlan::Project { input, .. } => input.collect_leaves(out),
+        }
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Select {
+                relation,
+                predicates,
+            } => {
+                write!(f, "{pad}Select {relation}")?;
+                for p in predicates {
+                    write!(f, " [{p}]")?;
+                }
+                writeln!(f)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_attr,
+                right_attr,
+            } => {
+                writeln!(f, "{pad}Join {left_attr} = {right_attr}")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Project { input, attrs } => {
+                writeln!(f, "{pad}Project {}", attrs.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+/// Errors produced while planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A referenced relation is not in the catalog.
+    UnknownRelation(String),
+    /// An attribute was not found in any FROM relation.
+    UnknownAttribute(String),
+    /// A bare attribute name matches several FROM relations.
+    AmbiguousAttribute(String),
+    /// A literal's type does not fit the attribute.
+    TypeMismatch {
+        /// The attribute involved.
+        attr: String,
+        /// What the schema expects.
+        expected: ValueType,
+    },
+    /// Two range bounds on one attribute do not intersect.
+    EmptyRange(String),
+    /// A comparison operator was applied to a string attribute.
+    OrderedOpOnString(String),
+    /// The join graph does not connect all FROM relations.
+    DisconnectedJoin,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            PlanError::UnknownAttribute(a) => write!(f, "unknown attribute {a}"),
+            PlanError::AmbiguousAttribute(a) => write!(f, "ambiguous attribute {a}"),
+            PlanError::TypeMismatch { attr, expected } => {
+                write!(f, "attribute {attr} expects {expected}")
+            }
+            PlanError::EmptyRange(a) => write!(f, "contradictory bounds on {a}"),
+            PlanError::OrderedOpOnString(a) => {
+                write!(f, "range comparison on string attribute {a}")
+            }
+            PlanError::DisconnectedJoin => write!(f, "join conditions do not connect all relations"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Plans parsed queries against a catalog of schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    catalog: BTreeMap<String, Arc<Schema>>,
+}
+
+/// Accumulated bounds for one attribute while merging range conditions.
+#[derive(Debug, Clone, Copy)]
+struct Bounds {
+    lo: u32,
+    hi: u32,
+}
+
+impl Planner {
+    /// Create an empty planner.
+    pub fn new() -> Planner {
+        Planner::default()
+    }
+
+    /// Register a relation schema.
+    pub fn register(&mut self, schema: Arc<Schema>) -> &mut Planner {
+        self.catalog.insert(schema.name().to_string(), schema);
+        self
+    }
+
+    /// Look up a registered schema.
+    pub fn schema(&self, relation: &str) -> Option<&Arc<Schema>> {
+        self.catalog.get(relation)
+    }
+
+    /// Convert a parsed query into a select-pushdown plan:
+    /// one `Select` leaf per FROM relation carrying all its predicates,
+    /// joined left-deep following the query's equi-join conditions, with a
+    /// final projection.
+    pub fn plan(&self, q: &ParsedQuery) -> Result<LogicalPlan, PlanError> {
+        // Validate relations.
+        for r in &q.relations {
+            if !self.catalog.contains_key(r) {
+                return Err(PlanError::UnknownRelation(r.clone()));
+            }
+        }
+        // Resolve conditions into per-relation predicates and join edges.
+        let mut bounds: BTreeMap<(String, String), Bounds> = BTreeMap::new();
+        let mut eq_preds: Vec<(String, Predicate)> = Vec::new();
+        let mut joins: Vec<(String, String, String, String)> = Vec::new(); // (rel_l, attr_l, rel_r, attr_r)
+
+        for cond in &q.conditions {
+            match cond {
+                Condition::JoinEq { left, right } => {
+                    let (rl, al) = self.resolve(left, &q.relations)?;
+                    let (rr, ar) = self.resolve(right, &q.relations)?;
+                    joins.push((rl, al, rr, ar));
+                }
+                Condition::Cmp { attr, op, lit } => {
+                    let (rel, a) = self.resolve(attr, &q.relations)?;
+                    let ty = self.catalog[&rel]
+                        .type_of(&a)
+                        .expect("resolved attribute must exist");
+                    match (*op, ty) {
+                        (CmpOp::Eq, ValueType::Str) => {
+                            let v = match lit {
+                                Literal::Str(s) => Value::Str(s.clone()),
+                                _ => {
+                                    return Err(PlanError::TypeMismatch {
+                                        attr: a,
+                                        expected: ty,
+                                    })
+                                }
+                            };
+                            eq_preds.push((rel, Predicate::Eq { attr: a, value: v }));
+                        }
+                        (_, ValueType::Str) => return Err(PlanError::OrderedOpOnString(a)),
+                        (op, _) => {
+                            let v = literal_ordinal(lit, ty)
+                                .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
+                            let b = bounds
+                                .entry((rel, a.clone()))
+                                .or_insert(Bounds { lo: 0, hi: u32::MAX });
+                            apply_bound(b, op, v, &a)?;
+                        }
+                    }
+                }
+                Condition::Between {
+                    lo,
+                    lo_inclusive,
+                    attr,
+                    hi,
+                    hi_inclusive,
+                } => {
+                    let (rel, a) = self.resolve(attr, &q.relations)?;
+                    let ty = self.catalog[&rel]
+                        .type_of(&a)
+                        .expect("resolved attribute must exist");
+                    if ty == ValueType::Str {
+                        return Err(PlanError::OrderedOpOnString(a));
+                    }
+                    let lo_v = literal_ordinal(lo, ty)
+                        .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
+                    let hi_v = literal_ordinal(hi, ty)
+                        .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
+                    let b = bounds
+                        .entry((rel, a.clone()))
+                        .or_insert(Bounds { lo: 0, hi: u32::MAX });
+                    apply_bound(
+                        b,
+                        if *lo_inclusive { CmpOp::Ge } else { CmpOp::Gt },
+                        lo_v,
+                        &a,
+                    )?;
+                    apply_bound(
+                        b,
+                        if *hi_inclusive { CmpOp::Le } else { CmpOp::Lt },
+                        hi_v,
+                        &a,
+                    )?;
+                }
+            }
+        }
+
+        // Assemble per-relation predicate lists (pushdown).
+        let mut rel_preds: BTreeMap<String, Vec<Predicate>> = BTreeMap::new();
+        for ((rel, attr), b) in bounds {
+            if b.lo > b.hi {
+                return Err(PlanError::EmptyRange(attr));
+            }
+            rel_preds
+                .entry(rel)
+                .or_default()
+                .push(Predicate::Range {
+                    attr,
+                    lo: b.lo,
+                    hi: b.hi,
+                });
+        }
+        for (rel, p) in eq_preds {
+            rel_preds.entry(rel).or_default().push(p);
+        }
+
+        // Build leaves in FROM order.
+        let leaf = |rel: &str| LogicalPlan::Select {
+            relation: rel.to_string(),
+            predicates: rel_preds.get(rel).cloned().unwrap_or_default(),
+        };
+
+        // Left-deep join: start from the first relation, greedily attach a
+        // relation connected by some join condition.
+        let mut in_tree: Vec<String> = vec![q.relations[0].clone()];
+        let mut plan = leaf(&q.relations[0]);
+        let mut remaining: Vec<String> = q.relations[1..].to_vec();
+        let mut pending = joins;
+        while !remaining.is_empty() {
+            // Find a join edge connecting the tree to a remaining relation.
+            let found = pending.iter().position(|(rl, _, rr, _)| {
+                (in_tree.contains(rl) && remaining.contains(rr))
+                    || (in_tree.contains(rr) && remaining.contains(rl))
+            });
+            let Some(pos) = found else {
+                // No explicit join edge: if there are no join conditions at
+                // all and a single relation remains unreferenced, this is a
+                // cross product — unsupported, matching the paper's query
+                // class.
+                return Err(PlanError::DisconnectedJoin);
+            };
+            let (rl, al, rr, ar) = pending.remove(pos);
+            let (new_rel, tree_attr, new_attr) = if in_tree.contains(&rl) {
+                (rr.clone(), format!("{rl}.{al}"), format!("{rr}.{ar}"))
+            } else {
+                (rl.clone(), format!("{rr}.{ar}"), format!("{rl}.{al}"))
+            };
+            plan = LogicalPlan::Join {
+                left: Box::new(plan),
+                right: Box::new(leaf(&new_rel)),
+                left_attr: tree_attr,
+                right_attr: new_attr,
+            };
+            remaining.retain(|r| r != &new_rel);
+            in_tree.push(new_rel);
+        }
+
+        // Projection.
+        let plan = match &q.projection {
+            Projection::Star => plan,
+            Projection::Attrs(attrs) => {
+                let mut qualified = Vec::with_capacity(attrs.len());
+                for a in attrs {
+                    let (rel, attr) = self.resolve(a, &q.relations)?;
+                    qualified.push(format!("{rel}.{attr}"));
+                }
+                LogicalPlan::Project {
+                    input: Box::new(plan),
+                    attrs: qualified,
+                }
+            }
+        };
+        Ok(plan)
+    }
+
+    /// Resolve an attribute reference to `(relation, attribute)`.
+    fn resolve(
+        &self,
+        attr: &AttrRef,
+        relations: &[String],
+    ) -> Result<(String, String), PlanError> {
+        match attr {
+            AttrRef::Qualified(rel, a) => {
+                let schema = self
+                    .catalog
+                    .get(rel)
+                    .ok_or_else(|| PlanError::UnknownRelation(rel.clone()))?;
+                if schema.index_of(a).is_none() {
+                    return Err(PlanError::UnknownAttribute(format!("{rel}.{a}")));
+                }
+                if !relations.contains(rel) {
+                    return Err(PlanError::UnknownRelation(rel.clone()));
+                }
+                Ok((rel.clone(), a.clone()))
+            }
+            AttrRef::Bare(a) => {
+                let mut hits = relations
+                    .iter()
+                    .filter(|r| {
+                        self.catalog
+                            .get(*r)
+                            .map(|s| s.index_of(a).is_some())
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect::<Vec<_>>();
+                // A join attribute like patient_id may appear in several
+                // relations; a *selection* on a bare name needs uniqueness.
+                hits.dedup();
+                match hits.len() {
+                    0 => Err(PlanError::UnknownAttribute(a.clone())),
+                    1 => Ok((hits.pop().unwrap(), a.clone())),
+                    _ => Err(PlanError::AmbiguousAttribute(a.clone())),
+                }
+            }
+        }
+    }
+}
+
+/// Tighten `b` with one comparison. Exclusive integer bounds shift by one.
+fn apply_bound(b: &mut Bounds, op: CmpOp, v: u32, attr: &str) -> Result<(), PlanError> {
+    match op {
+        CmpOp::Eq => {
+            b.lo = b.lo.max(v);
+            b.hi = b.hi.min(v);
+        }
+        CmpOp::Le => b.hi = b.hi.min(v),
+        CmpOp::Lt => {
+            if v == 0 {
+                return Err(PlanError::EmptyRange(attr.to_string()));
+            }
+            b.hi = b.hi.min(v - 1);
+        }
+        CmpOp::Ge => b.lo = b.lo.max(v),
+        CmpOp::Gt => {
+            if v == u32::MAX {
+                return Err(PlanError::EmptyRange(attr.to_string()));
+            }
+            b.lo = b.lo.max(v + 1);
+        }
+    }
+    Ok(())
+}
+
+/// The `u32` ordinal of a literal under the attribute's type.
+fn literal_ordinal(lit: &Literal, ty: ValueType) -> Option<u32> {
+    match (lit, ty) {
+        (Literal::Int(v), ValueType::Int) => Some(*v),
+        (Literal::Int(v), ValueType::Date) => Some(*v),
+        (Literal::Date(y, m, d), ValueType::Date) => Some(days_since_1900(*y, *m, *d)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::medical;
+    use crate::sql::parse_query;
+
+    fn medical_planner() -> Planner {
+        let mut p = Planner::new();
+        p.register(medical::patient())
+            .register(medical::diagnosis())
+            .register(medical::physician())
+            .register(medical::prescription());
+        p
+    }
+
+    #[test]
+    fn plans_the_papers_example_query() {
+        let planner = medical_planner();
+        let q = parse_query(
+            "SELECT Prescription.prescription \
+             FROM Patient, Diagnosis, Prescription \
+             WHERE 30 <= age AND age <= 50 \
+             AND diagnosis = 'Glaucoma' \
+             AND Patient.patient_id = Diagnosis.patient_id \
+             AND 01-01-2000 <= date AND date <= 12-31-2002 \
+             AND Diagnosis.prescription_id = Prescription.prescription_id",
+        )
+        .unwrap();
+        let plan = planner.plan(&q).unwrap();
+        // Three leaves, each with its pushed-down selection.
+        let leaves = plan.leaves();
+        assert_eq!(leaves.len(), 3);
+        let (rel0, preds0) = leaves[0];
+        assert_eq!(rel0, "Patient");
+        assert_eq!(preds0, &[Predicate::range("age", 30, 50)]);
+        let (rel1, preds1) = leaves[1];
+        assert_eq!(rel1, "Diagnosis");
+        assert_eq!(preds1, &[Predicate::eq("diagnosis", "Glaucoma")]);
+        let (rel2, preds2) = leaves[2];
+        assert_eq!(rel2, "Prescription");
+        assert_eq!(preds2.len(), 1);
+        match &preds2[0] {
+            Predicate::Range { attr, lo, hi } => {
+                assert_eq!(attr, "date");
+                assert_eq!(*lo, days_since_1900(2000, 1, 1));
+                assert_eq!(*hi, days_since_1900(2002, 12, 31));
+            }
+            p => panic!("unexpected predicate {p}"),
+        }
+        // Shape: Project over Join(Join(Patient, Diagnosis), Prescription).
+        let printed = format!("{plan}");
+        assert!(printed.starts_with("Project Prescription.prescription"));
+        assert!(printed.contains("Join Patient.patient_id = Diagnosis.patient_id"));
+        assert!(printed.contains("Join Diagnosis.prescription_id = Prescription.prescription_id"));
+    }
+
+    #[test]
+    fn chained_between_condition() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient WHERE 30 < age < 50").unwrap();
+        let plan = planner.plan(&q).unwrap();
+        // Exclusive bounds narrow by one on each side.
+        assert_eq!(
+            plan.leaves()[0].1,
+            &[Predicate::range("age", 31, 49)]
+        );
+    }
+
+    #[test]
+    fn merges_multiple_bounds_on_one_attribute() {
+        let planner = medical_planner();
+        let q =
+            parse_query("SELECT * FROM Patient WHERE age >= 30 AND age <= 50 AND age <= 45")
+                .unwrap();
+        let plan = planner.plan(&q).unwrap();
+        assert_eq!(plan.leaves()[0].1, &[Predicate::range("age", 30, 45)]);
+    }
+
+    #[test]
+    fn contradictory_bounds_rejected() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient WHERE age > 50 AND age < 30").unwrap();
+        assert_eq!(
+            planner.plan(&q),
+            Err(PlanError::EmptyRange("age".to_string()))
+        );
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Nonexistent WHERE age = 1").unwrap();
+        assert!(matches!(
+            planner.plan(&q),
+            Err(PlanError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_bare_attribute_rejected() {
+        let planner = medical_planner();
+        // `age` exists in both Patient and Physician.
+        let q = parse_query(
+            "SELECT * FROM Patient, Physician \
+             WHERE age = 30 AND Patient.patient_id = Physician.physician_id",
+        )
+        .unwrap();
+        assert_eq!(
+            planner.plan(&q),
+            Err(PlanError::AmbiguousAttribute("age".to_string()))
+        );
+    }
+
+    #[test]
+    fn string_range_rejected() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient WHERE name > 5").unwrap();
+        assert!(matches!(
+            planner.plan(&q),
+            Err(PlanError::OrderedOpOnString(_))
+        ));
+    }
+
+    #[test]
+    fn cross_product_rejected() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient, Diagnosis WHERE age = 30").unwrap();
+        assert_eq!(planner.plan(&q), Err(PlanError::DisconnectedJoin));
+    }
+
+    #[test]
+    fn eq_on_int_becomes_point_range() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient WHERE age = 30").unwrap();
+        let plan = planner.plan(&q).unwrap();
+        assert_eq!(plan.leaves()[0].1, &[Predicate::range("age", 30, 30)]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let planner = medical_planner();
+        let q = parse_query("SELECT * FROM Patient WHERE age = 'thirty'").unwrap();
+        assert!(matches!(planner.plan(&q), Err(PlanError::TypeMismatch { .. })));
+    }
+}

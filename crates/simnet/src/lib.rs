@@ -1,0 +1,28 @@
+//! Network substrate for the P2P system.
+//!
+//! The paper's peers are "connected to each other via connections over a
+//! TCP/IP network" (§2) but its evaluation runs in simulation. This crate
+//! provides both renditions:
+//!
+//! * [`sim::SimNet`] — a deterministic discrete-event simulator: messages
+//!   carry a latency drawn from a pluggable [`event::LatencyModel`], and a
+//!   single-threaded run loop dispatches them in virtual-time order. Every
+//!   run with the same seed is bit-identical, which the experiment harness
+//!   relies on.
+//! * [`threaded::ThreadedNet`] — an in-process runtime where every peer is
+//!   an OS thread exchanging messages over crossbeam channels; the same
+//!   [`Node`] implementation runs unchanged on either substrate.
+//! * [`codec`] — a small binary wire format (length-prefixed frames over
+//!   `bytes`) so protocol messages have a concrete encoding, exercised by
+//!   round-trip tests.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod event;
+pub mod sim;
+pub mod threaded;
+
+pub use event::{ConstantLatency, LatencyModel, UniformLatency};
+pub use sim::{Node, NodeCtx, SimNet, SimStats};
+pub use threaded::ThreadedNet;

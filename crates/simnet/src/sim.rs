@@ -1,0 +1,378 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Peers implement [`Node`]; the simulator owns them, delivers messages in
+//! virtual-time order, and lets handlers send further messages through a
+//! [`NodeCtx`]. A full run is a pure function of (nodes, latency model,
+//! initial messages) — no wall-clock, no thread scheduling — so experiment
+//! results are exactly reproducible.
+
+use crate::event::{Delivery, EventQueue, LatencyModel, SimTime};
+use ars_common::DetRng;
+
+/// Aggregate transport statistics for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total messages delivered.
+    pub delivered: u64,
+    /// Total messages sent (delivered + still queued at stop).
+    pub sent: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Total wire bytes sent (only counted when a meter is installed via
+    /// [`SimNet::set_meter`]).
+    pub bytes: u64,
+    /// Virtual time of the last delivery.
+    pub end_time: SimTime,
+}
+
+/// A wire meter: returns the on-wire size of a message.
+pub type WireMeter<M> = Box<dyn FnMut(&M) -> u64>;
+
+/// A peer's message handler.
+pub trait Node<M> {
+    /// Handle a message delivered to this node. `ctx` exposes the node's
+    /// own index, the virtual clock, and `send`.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, M>, from: usize, msg: M);
+}
+
+/// Handler-side view of the simulator.
+#[derive(Debug)]
+pub struct NodeCtx<'a, M> {
+    /// Index of the handling node.
+    pub me: usize,
+    /// Current virtual time (the delivery time of the message being
+    /// handled).
+    pub now: SimTime,
+    outbox: &'a mut Vec<(usize, M)>,
+}
+
+impl<'a, M> NodeCtx<'a, M> {
+    /// Internal constructor shared by the simulator and the threaded
+    /// runtime.
+    pub(crate) fn for_runtime(
+        me: usize,
+        now: SimTime,
+        outbox: &'a mut Vec<(usize, M)>,
+    ) -> NodeCtx<'a, M> {
+        NodeCtx { me, now, outbox }
+    }
+
+    /// Send `msg` to peer `to` (delivery is scheduled when the handler
+    /// returns, with latency from the run's latency model).
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.outbox.push((to, msg));
+    }
+}
+
+/// The simulator: nodes + queue + clock.
+pub struct SimNet<M, L: LatencyModel> {
+    nodes: Vec<Box<dyn Node<M>>>,
+    queue: EventQueue<M>,
+    latency: L,
+    now: SimTime,
+    stats: SimStats,
+    /// Optional loss model: each message independently dropped with this
+    /// probability (failure injection).
+    loss: Option<(f64, DetRng)>,
+    /// Optional wire meter: bytes a message would occupy on the wire.
+    meter: Option<WireMeter<M>>,
+}
+
+impl<M, L: LatencyModel> SimNet<M, L> {
+    /// Create a simulator over `nodes` with the given latency model.
+    pub fn new(nodes: Vec<Box<dyn Node<M>>>, latency: L) -> SimNet<M, L> {
+        SimNet {
+            nodes,
+            queue: EventQueue::new(),
+            latency,
+            now: 0,
+            stats: SimStats::default(),
+            loss: None,
+            meter: None,
+        }
+    }
+
+    /// Install a wire meter: called once per sent message; the returned
+    /// size accumulates in [`SimStats::bytes`]. Typically the framed
+    /// encoding length (`ars_simnet::codec::frame(msg).len()`).
+    pub fn set_meter(&mut self, f: impl FnMut(&M) -> u64 + 'static) {
+        self.meter = Some(Box::new(f));
+    }
+
+    fn metered(&mut self, msg: &M) -> u64 {
+        match &mut self.meter {
+            Some(f) => f(msg),
+            None => 0,
+        }
+    }
+
+    /// Enable lossy transport: every message (injected or sent by a
+    /// handler) is independently dropped with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn set_loss(&mut self, p: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss = if p > 0.0 {
+            Some((p, DetRng::new(seed)))
+        } else {
+            None
+        };
+    }
+
+    /// Returns true if the loss model decides to drop a message.
+    fn drops(&mut self) -> bool {
+        match &mut self.loss {
+            Some((p, rng)) => {
+                let p = *p;
+                rng.gen_bool(p)
+            }
+            None => false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the simulator has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Inject a message from the outside world (e.g. a user query arriving
+    /// at a peer) at the current virtual time plus one latency sample.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range.
+    pub fn inject(&mut self, from: usize, to: usize, msg: M) {
+        assert!(to < self.nodes.len(), "destination {to} out of range");
+        if self.drops() {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.stats.bytes += self.metered(&msg);
+        let lat = self.latency.latency(from, to);
+        self.queue.schedule(self.now + lat, from, to, msg);
+        self.stats.sent += 1;
+    }
+
+    /// Deliver a single message; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Delivery {
+            at,
+            from,
+            to,
+            msg,
+            ..
+        }) = self.queue.pop()
+        else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time ran backwards");
+        self.now = at;
+        self.stats.delivered += 1;
+        self.stats.end_time = at;
+        let mut outbox: Vec<(usize, M)> = Vec::new();
+        {
+            let mut ctx = NodeCtx::for_runtime(to, at, &mut outbox);
+            self.nodes[to].on_message(&mut ctx, from, msg);
+        }
+        for (dest, m) in outbox {
+            assert!(dest < self.nodes.len(), "destination {dest} out of range");
+            if self.drops() {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.stats.bytes += self.metered(&m);
+            let lat = self.latency.latency(to, dest);
+            self.queue.schedule(at + lat, to, dest, m);
+            self.stats.sent += 1;
+        }
+        true
+    }
+
+    /// Run until the queue drains or `max_steps` deliveries have happened.
+    /// Returns the number of deliveries performed.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while steps < max_steps && self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Borrow a node's state (for inspection after a run).
+    pub fn node(&self, i: usize) -> &dyn Node<M> {
+        self.nodes[i].as_ref()
+    }
+
+    /// Mutably borrow a node's state.
+    pub fn node_mut(&mut self, i: usize) -> &mut (dyn Node<M> + 'static) {
+        self.nodes[i].as_mut()
+    }
+
+    /// Consume the simulator, returning the nodes (to extract results).
+    pub fn into_nodes(self) -> Vec<Box<dyn Node<M>>> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ConstantLatency;
+    use crate::event::UniformLatency;
+
+    /// A node that forwards a counter to the next node until it hits 0.
+    struct RelayNode {
+        received: Vec<u32>,
+        n_nodes: usize,
+    }
+
+    impl Node<u32> for RelayNode {
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_, u32>, _from: usize, msg: u32) {
+            self.received.push(msg);
+            if msg > 0 {
+                ctx.send((ctx.me + 1) % self.n_nodes, msg - 1);
+            }
+        }
+    }
+
+    fn relay_net(n: usize) -> SimNet<u32, ConstantLatency> {
+        let nodes: Vec<Box<dyn Node<u32>>> = (0..n)
+            .map(|_| {
+                Box::new(RelayNode {
+                    received: Vec::new(),
+                    n_nodes: n,
+                }) as Box<dyn Node<u32>>
+            })
+            .collect();
+        SimNet::new(nodes, ConstantLatency(10))
+    }
+
+    #[test]
+    fn relays_until_counter_exhausts() {
+        let mut net = relay_net(3);
+        net.inject(0, 0, 5);
+        let steps = net.run(1000);
+        // 6 deliveries: 5,4,3,2,1,0.
+        assert_eq!(steps, 6);
+        assert_eq!(net.stats().delivered, 6);
+        assert_eq!(net.stats().sent, 6);
+        // Virtual time advanced by 6 hops × 10 µs.
+        assert_eq!(net.now(), 60);
+    }
+
+    #[test]
+    fn run_respects_step_budget() {
+        let mut net = relay_net(2);
+        net.inject(0, 0, 100);
+        let steps = net.run(3);
+        assert_eq!(steps, 3);
+        assert!(net.stats().delivered == 3);
+    }
+
+    #[test]
+    fn deterministic_with_seeded_latency() {
+        let run = || {
+            let nodes: Vec<Box<dyn Node<u32>>> = (0..4)
+                .map(|_| {
+                    Box::new(RelayNode {
+                        received: Vec::new(),
+                        n_nodes: 4,
+                    }) as Box<dyn Node<u32>>
+                })
+                .collect();
+            let mut net = SimNet::new(nodes, UniformLatency::new(5, 50, 99));
+            net.inject(0, 0, 20);
+            net.run(u64::MAX);
+            net.now()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_validates_destination() {
+        let mut net = relay_net(2);
+        net.inject(0, 7, 1);
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_false() {
+        let mut net = relay_net(1);
+        assert!(!net.step());
+    }
+
+    #[test]
+    fn meter_accumulates_bytes() {
+        let mut net = relay_net(2);
+        net.set_meter(|_| 8);
+        net.inject(0, 0, 3);
+        net.run(u64::MAX);
+        // 4 messages (3,2,1,0) × 8 bytes.
+        assert_eq!(net.stats().bytes, 32);
+    }
+
+    #[test]
+    fn no_meter_counts_zero_bytes() {
+        let mut net = relay_net(2);
+        net.inject(0, 0, 3);
+        net.run(u64::MAX);
+        assert_eq!(net.stats().bytes, 0);
+    }
+
+    #[test]
+    fn lossy_transport_drops_messages() {
+        let mut net = relay_net(2);
+        net.set_loss(1.0, 1); // drop everything
+        net.inject(0, 0, 5);
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.run(100), 0);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn partial_loss_still_makes_progress() {
+        let mut net = relay_net(2);
+        net.set_loss(0.3, 42);
+        for _ in 0..50 {
+            net.inject(0, 0, 10);
+        }
+        net.run(u64::MAX);
+        let s = net.stats();
+        assert!(s.dropped > 0, "some messages must drop at 30% loss");
+        assert!(s.delivered > 0, "some messages must get through");
+        assert_eq!(s.sent, s.delivered, "queue drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn loss_probability_validated() {
+        let mut net = relay_net(1);
+        net.set_loss(1.5, 0);
+    }
+
+    #[test]
+    fn stats_count_queued_but_undelivered() {
+        let mut net = relay_net(2);
+        net.inject(0, 0, 1);
+        net.inject(0, 1, 0);
+        assert_eq!(net.stats().sent, 2);
+        assert_eq!(net.stats().delivered, 0);
+        net.run(u64::MAX);
+        assert_eq!(net.stats().delivered, 3); // two injected + one relay
+    }
+}

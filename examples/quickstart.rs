@@ -1,0 +1,52 @@
+//! Quickstart: the paper's core loop in thirty lines.
+//!
+//! A P2P system where peers cache query-range partitions; similar queries
+//! find each other's cached partitions through locality sensitive hashing
+//! over a Chord ring.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ars::prelude::*;
+
+fn main() {
+    // 100 peers, the paper's parameters (approx. min-wise permutations,
+    // k = 20 hash functions per group, l = 5 groups).
+    let mut net = RangeSelectNetwork::new(100, SystemConfig::default());
+
+    // A peer asks for patients aged 30–50. Nothing is cached yet: the
+    // query goes to the source, and its partition is cached at the l
+    // identifier-owning peers.
+    let q1 = RangeSet::interval(30, 50);
+    let miss = net.query(&q1);
+    println!("query {q1}: match = {:?} (cached for later)", miss.best_match);
+
+    // A *similar* query — ages 30–49, Jaccard similarity ≈ 0.95 — now
+    // locates the cached partition with high probability, even though it
+    // was never asked before.
+    let q2 = RangeSet::interval(30, 49);
+    let hit = net.query(&q2);
+    match &hit.best_match {
+        Some(m) => println!(
+            "query {q2}: matched cached partition {m} \
+             (similarity {:.3}, recall {:.3}, {} overlay hops)",
+            hit.similarity,
+            hit.recall,
+            hit.hops.iter().sum::<usize>()
+        ),
+        None => println!("query {q2}: no match this time (LSH is probabilistic)"),
+    }
+
+    // An identical repeat always hits exactly.
+    let exact = net.query(&q1);
+    assert!(exact.exact);
+    println!("query {q1} again: exact hit, recall = {}", exact.recall);
+
+    // The collision probability machinery behind it:
+    let p = ars::lsh::group::match_probability(0.95, 20, 5);
+    println!("P[shared identifier | similarity 0.95, k=20, l=5] = {p:.3}");
+    println!(
+        "network now stores {} partition copies across {} peers",
+        net.total_partitions(),
+        net.len()
+    );
+}

@@ -1,0 +1,146 @@
+//! End-to-end quality checks over the paper's workload, at reduced scale
+//! (2,000 queries instead of 10,000 to keep the suite fast). These tests
+//! assert the *shape* of the paper's §5.1–5.2 findings, not exact numbers.
+
+use ars::core::recall::{mean_recall, pct_fully_answered};
+use ars::prelude::*;
+
+const N_QUERIES: usize = 2_000;
+const N_PEERS: usize = 200;
+const SEED: u64 = 20030107;
+
+fn run(config: SystemConfig) -> Vec<QueryOutcome> {
+    let trace = uniform_trace(N_QUERIES, 0, 1000, SEED);
+    let mut net = RangeSelectNetwork::new(N_PEERS, config);
+    let outs = net.run_trace(trace.queries());
+    // Paper: drop the first 20% as warm-up.
+    let cut = outs.len() / 5;
+    outs[cut..].to_vec()
+}
+
+#[test]
+fn approx_minwise_answers_a_meaningful_fraction_completely() {
+    let outs = run(SystemConfig::default().with_seed(SEED));
+    let pct = pct_fully_answered(&outs);
+    // Paper (Fig. 8): ≈35% of queries fully answered for approx min-wise
+    // under Jaccard matching with the 10k trace. The shorter trace caches
+    // less, so accept a broad band; the point is it is substantial.
+    assert!(
+        pct > 10.0 && pct < 80.0,
+        "approx min-wise fully-answered = {pct:.1}%"
+    );
+}
+
+#[test]
+fn containment_matching_beats_jaccard_matching() {
+    // Fig. 9: switching the bucket's best-match measure from Jaccard to
+    // containment roughly doubles the fully-answered fraction.
+    let jaccard = run(SystemConfig::default().with_seed(SEED));
+    let containment = run(
+        SystemConfig::default()
+            .with_matching(MatchMeasure::Containment)
+            .with_seed(SEED),
+    );
+    let pj = pct_fully_answered(&jaccard);
+    let pc = pct_fully_answered(&containment);
+    assert!(
+        pc > pj,
+        "containment ({pc:.1}%) should beat Jaccard ({pj:.1}%)"
+    );
+}
+
+#[test]
+fn padding_increases_complete_answers() {
+    // Fig. 10: 20% padding lifts the fully-answered fraction further
+    // (paper: ≈60% → ≈70% with containment matching).
+    let base = run(
+        SystemConfig::default()
+            .with_matching(MatchMeasure::Containment)
+            .with_seed(SEED),
+    );
+    let padded = run(
+        SystemConfig::default()
+            .with_matching(MatchMeasure::Containment)
+            .with_padding(0.2)
+            .with_seed(SEED),
+    );
+    let pb = pct_fully_answered(&base);
+    let pp = pct_fully_answered(&padded);
+    assert!(
+        pp > pb,
+        "padded ({pp:.1}%) should beat unpadded ({pb:.1}%)"
+    );
+}
+
+#[test]
+fn skewed_workloads_cache_much_better_than_uniform() {
+    // The motivation in §1–2: P2P users ask popular broad queries, so the
+    // cache should shine under skew. Zipf-distributed queries repeat, and
+    // exact repeats always hit.
+    let mut net = RangeSelectNetwork::new(N_PEERS, SystemConfig::default().with_seed(SEED));
+    let trace = zipf_trace(N_QUERIES, 0, 1000, 100, 1.2, 60, SEED);
+    let outs = net.run_trace(trace.queries());
+    let cut = outs.len() / 5;
+    let zipf_pct = pct_fully_answered(&outs[cut..]);
+    let uniform_pct = pct_fully_answered(&run(SystemConfig::default().with_seed(SEED)));
+    assert!(
+        zipf_pct > uniform_pct,
+        "zipf ({zipf_pct:.1}%) should beat uniform ({uniform_pct:.1}%)"
+    );
+    assert!(zipf_pct > 50.0, "zipf fully-answered only {zipf_pct:.1}%");
+}
+
+#[test]
+fn hop_counts_stay_logarithmic_during_query_stream() {
+    let trace = uniform_trace(500, 0, 1000, SEED);
+    let mut net = RangeSelectNetwork::new(1000, SystemConfig::default().with_seed(SEED));
+    let outs = net.run_trace(trace.queries());
+    let mean_hops: f64 = outs
+        .iter()
+        .flat_map(|o| o.hops.iter().map(|&h| h as f64))
+        .sum::<f64>()
+        / (outs.len() * 5) as f64;
+    // ½·log₂(1000) ≈ 5.
+    assert!(
+        (3.0..7.0).contains(&mean_hops),
+        "mean hops {mean_hops:.2} outside the Chord band"
+    );
+}
+
+#[test]
+fn local_index_never_hurts_recall() {
+    // §5.3: searching all buckets at the contacted peer is at least as
+    // good per query as looking in one bucket — same identifiers, strictly
+    // more candidates.
+    let trace = uniform_trace(800, 0, 1000, SEED);
+    let mut plain = RangeSelectNetwork::new(50, SystemConfig::default().with_seed(SEED));
+    let mut indexed = RangeSelectNetwork::new(
+        50,
+        SystemConfig::default().with_local_index(true).with_seed(SEED),
+    );
+    let outs_plain = plain.run_trace(trace.queries());
+    let outs_indexed = indexed.run_trace(trace.queries());
+    let mr_plain = mean_recall(&outs_plain);
+    let mr_indexed = mean_recall(&outs_indexed);
+    assert!(
+        mr_indexed >= mr_plain,
+        "local index mean recall {mr_indexed:.3} below plain {mr_plain:.3}"
+    );
+}
+
+#[test]
+fn exact_repeats_always_hit() {
+    let mut net = RangeSelectNetwork::new(100, SystemConfig::default().with_seed(SEED));
+    let trace = uniform_trace(300, 0, 1000, SEED);
+    // Prime the cache.
+    net.run_trace(trace.queries());
+    // Every re-issued query must now be answered completely.
+    let again = net.run_trace(trace.queries());
+    for out in &again {
+        assert_eq!(
+            out.recall, 1.0,
+            "repeated query {} not fully answered",
+            out.query
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property tests: invariants that tie the layers together,
+//! each checked against a brute-force oracle.
+
+use ars::prelude::*;
+use ars::relation::exec::BaseTables;
+use ars::relation::schema::medical;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: an arbitrary small multi-interval range set plus its exact
+/// value set.
+fn range_set_strategy() -> impl Strategy<Value = (RangeSet, HashSet<u32>)> {
+    prop::collection::vec((0u32..500, 0u32..40), 0..5).prop_map(|pairs| {
+        let intervals: Vec<(u32, u32)> = pairs.into_iter().map(|(lo, w)| (lo, lo + w)).collect();
+        let rs = RangeSet::from_intervals(intervals.iter().copied());
+        let mut values = HashSet::new();
+        for (lo, hi) in intervals {
+            values.extend(lo..=hi);
+        }
+        (rs, values)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// RangeSet algebra agrees with naive sets on every operation.
+    #[test]
+    fn range_set_algebra_matches_brute_force(
+        (a, sa) in range_set_strategy(),
+        (b, sb) in range_set_strategy(),
+    ) {
+        prop_assert_eq!(a.len(), sa.len() as u64);
+        prop_assert_eq!(a.intersection_len(&b), sa.intersection(&sb).count() as u64);
+        prop_assert_eq!(a.union_len(&b), sa.union(&sb).count() as u64);
+        let inter = a.intersection(&b);
+        let inter_set: HashSet<u32> = inter.iter().collect();
+        let expect: HashSet<u32> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter_set, expect);
+        // Jaccard from sets.
+        let union_count = sa.union(&sb).count();
+        if union_count > 0 {
+            let expect_j =
+                sa.intersection(&sb).count() as f64 / union_count as f64;
+            prop_assert!((a.jaccard(&b) - expect_j).abs() < 1e-12);
+        }
+        // Subset relation.
+        prop_assert_eq!(a.is_subset_of(&b), sa.is_subset(&sb));
+    }
+
+    /// Difference agrees with naive set subtraction, and partitions the
+    /// set: (a ∩ b) ⊎ (a \ b) = a.
+    #[test]
+    fn difference_matches_brute_force(
+        (a, sa) in range_set_strategy(),
+        (b, sb) in range_set_strategy(),
+    ) {
+        let diff = a.difference(&b);
+        let got: HashSet<u32> = diff.iter().collect();
+        let expect: HashSet<u32> = sa.difference(&sb).copied().collect();
+        prop_assert_eq!(got, expect);
+        // Partition property.
+        prop_assert_eq!(diff.len() + a.intersection_len(&b), a.len());
+        prop_assert_eq!(diff.intersection_len(&b), 0);
+    }
+
+    /// Padding always contains the original and respects the fraction
+    /// bound per interval.
+    #[test]
+    fn padding_contains_original(
+        (a, _) in range_set_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(!a.is_empty());
+        let padded = a.pad(frac);
+        prop_assert!(a.is_subset_of(&padded));
+    }
+
+    /// Identifier computation is a pure function of the range (no hidden
+    /// state), and identical ranges always share all l identifiers.
+    #[test]
+    fn identifiers_are_pure((a, _) in range_set_strategy(), seed in any::<u64>()) {
+        prop_assume!(!a.is_empty());
+        let mut rng = DetRng::new(seed);
+        let groups = HashGroups::generate(LshFamilyKind::ApproxMinWise, 4, 3, &mut rng);
+        prop_assert_eq!(groups.identifiers(&a), groups.identifiers(&a.clone()));
+    }
+
+    /// Planned + executed single-relation queries equal brute-force
+    /// filtering, for arbitrary range bounds.
+    #[test]
+    fn planner_executor_equals_brute_force(lo in 0u32..100, w in 0u32..60) {
+        let hi = lo + w;
+        let schema = medical::patient();
+        let tuples: Vec<Vec<Value>> = (0..120u32)
+            .map(|i| vec![Value::Int(i), Value::from(format!("p{i}")), Value::Int(i % 80)])
+            .collect();
+        let rel = Relation::new(schema.clone(), tuples.clone());
+        let mut tables = BaseTables::new();
+        tables.register(rel);
+
+        let mut planner = Planner::new();
+        planner.register(schema);
+        let sql = format!("SELECT * FROM Patient WHERE {lo} <= age AND age <= {hi}");
+        let plan = planner.plan(&parse_query(&sql).unwrap()).unwrap();
+        let got = execute(&plan, &mut tables).unwrap();
+
+        let expect = tuples
+            .iter()
+            .filter(|t| {
+                let age = t[2].as_ordinal().unwrap();
+                (lo..=hi).contains(&age)
+            })
+            .count();
+        prop_assert_eq!(got.len(), expect);
+    }
+
+    /// Chord ownership is stable under observer: looking up the same key
+    /// from every node of a ring gives one owner.
+    #[test]
+    fn lookup_owner_is_origin_independent(seed in any::<u64>(), key in any::<u32>()) {
+        let ring = Ring::from_seed(24, seed);
+        let owners: HashSet<u32> = ring
+            .node_ids()
+            .iter()
+            .map(|&from| ring.lookup(from, Id(key)).0.0)
+            .collect();
+        prop_assert_eq!(owners.len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The message-passing rendition of the protocol (over `ars-simnet`) must
+//! agree, query for query, with the direct-call simulation — same seeds,
+//! same ring, same hash groups, same matches, same recall.
+
+use ars::prelude::*;
+
+#[test]
+fn direct_and_message_renditions_agree() {
+    let config = SystemConfig::default().with_seed(424242);
+    let mut direct = RangeSelectNetwork::new(40, config.clone());
+    let mut proto = ProtoNetwork::new(40, config);
+
+    let trace = uniform_trace(400, 0, 1000, 7);
+    for q in trace.queries() {
+        let a = direct.query(q);
+        let b = proto.query(q);
+        assert_eq!(a.best_match, b.best_match, "match diverged for {q}");
+        assert_eq!(a.recall, b.recall, "recall diverged for {q}");
+        assert_eq!(a.exact, b.exact, "exactness diverged for {q}");
+        assert_eq!(a.similarity, b.similarity, "similarity diverged for {q}");
+        assert_eq!(a.identifiers, b.identifiers, "identifiers diverged for {q}");
+        // Hop counts agree too: same origins (same RNG stream), same ring.
+        assert_eq!(a.hops, b.hops, "hops diverged for {q}");
+    }
+}
+
+#[test]
+fn renditions_agree_under_containment_and_padding() {
+    let config = SystemConfig::default()
+        .with_matching(MatchMeasure::Containment)
+        .with_padding(0.2)
+        .with_seed(777);
+    let mut direct = RangeSelectNetwork::new(25, config.clone());
+    let mut proto = ProtoNetwork::new(25, config);
+    let trace = uniform_trace(200, 0, 1000, 9);
+    for q in trace.queries() {
+        let a = direct.query(q);
+        let b = proto.query(q);
+        assert_eq!(a.best_match, b.best_match);
+        assert_eq!(a.recall, b.recall);
+    }
+}
+
+#[test]
+fn message_rendition_pays_routing_messages() {
+    let mut proto = ProtoNetwork::new(100, SystemConfig::default().with_seed(5));
+    let before = proto.messages_delivered();
+    proto.query(&RangeSet::interval(100, 200));
+    let spent = proto.messages_delivered() - before;
+    // 5 FindMatch requests (several hops each) + 5 replies + 5 stores + 5
+    // acks. In a 100-peer ring mean hops ≈ 3–4, so expect ≥ 20 messages.
+    assert!(spent >= 20, "only {spent} messages for one query");
+}

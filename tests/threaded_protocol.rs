@@ -1,0 +1,38 @@
+//! The protocol across real OS threads (crossbeam channels) must produce
+//! the same query outcomes as the deterministic simulations — concurrency
+//! reorders deliveries, not results.
+
+use ars::core::ThreadedProtoNetwork;
+use ars::prelude::*;
+
+#[test]
+fn threaded_equals_direct() {
+    let config = SystemConfig::default().with_seed(31337);
+    let mut direct = RangeSelectNetwork::new(16, config.clone());
+    let mut threaded = ThreadedProtoNetwork::spawn(16, config);
+
+    let trace = uniform_trace(150, 0, 1000, 3);
+    for q in trace.queries() {
+        let a = direct.query(q);
+        let b = threaded.query(q);
+        assert_eq!(a.best_match, b.best_match, "match diverged for {q}");
+        assert_eq!(a.recall, b.recall, "recall diverged for {q}");
+        assert_eq!(a.exact, b.exact, "exactness diverged for {q}");
+    }
+    threaded.shutdown();
+}
+
+#[test]
+fn threaded_handles_interleaved_exact_hits() {
+    let mut threaded =
+        ThreadedProtoNetwork::spawn(8, SystemConfig::default().with_seed(99));
+    let q = RangeSet::interval(100, 300);
+    let first = threaded.query(&q);
+    assert!(!first.exact);
+    for _ in 0..5 {
+        let again = threaded.query(&q);
+        assert!(again.exact, "repeat must hit the cached partition");
+        assert_eq!(again.recall, 1.0);
+    }
+    threaded.shutdown();
+}
