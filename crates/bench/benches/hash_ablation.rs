@@ -19,7 +19,7 @@ fn bench_bitperm_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("bitperm_ablation_1000_values");
     group.bench_function("minwise_naive", |b| {
-        b.iter(|| black_box(full.min_hash(black_box(&range))))
+        b.iter(|| black_box(full.min_hash_enumerate(black_box(&range))))
     });
     group.bench_function("minwise_compiled", |b| {
         b.iter(|| {
@@ -28,7 +28,7 @@ fn bench_bitperm_ablation(c: &mut Criterion) {
         })
     });
     group.bench_function("approx_naive", |b| {
-        b.iter(|| black_box(approx.min_hash(black_box(&range))))
+        b.iter(|| black_box(approx.min_hash_enumerate(black_box(&range))))
     });
     group.bench_function("approx_compiled", |b| {
         b.iter(|| {

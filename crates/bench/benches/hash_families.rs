@@ -1,5 +1,7 @@
 //! Criterion counterpart of Fig. 5: time to min-hash a range through one
-//! function of each family, across range sizes.
+//! function of each family, across range sizes. Times both the paper's
+//! enumerating evaluation and the default fast dispatch (range-aware for
+//! the bit families, closed form for the linear ones).
 
 use ars_common::DetRng;
 use ars_lsh::{LshFamilyKind, LshFunction, RangeSet};
@@ -18,8 +20,14 @@ fn bench_families(c: &mut Criterion) {
             LshFamilyKind::LinearClosedForm,
         ] {
             let f = LshFunction::random(kind, &mut rng);
+            let tag = kind.name().replace(' ', "_");
             group.bench_with_input(
-                BenchmarkId::new(kind.name().replace(' ', "_"), size),
+                BenchmarkId::new(format!("{tag}_enumerate"), size),
+                &range,
+                |b, r| b.iter(|| black_box(f.min_hash_enumerate(black_box(r)))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{tag}_fast"), size),
                 &range,
                 |b, r| b.iter(|| black_box(f.min_hash(black_box(r)))),
             );

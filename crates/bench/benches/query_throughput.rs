@@ -26,13 +26,16 @@ fn bench_query(c: &mut Criterion) {
     ] {
         let mut net = warm_network(SystemConfig::default().with_family(kind).with_seed(5));
         let mut i = 0usize;
-        group.bench_function(BenchmarkId::new("family", kind.name().replace(' ', "_")), |b| {
-            b.iter(|| {
-                let q = &queries.queries()[i % queries.len()];
-                i += 1;
-                black_box(net.query(q))
-            })
-        });
+        group.bench_function(
+            BenchmarkId::new("family", kind.name().replace(' ', "_")),
+            |b| {
+                b.iter(|| {
+                    let q = &queries.queries()[i % queries.len()];
+                    i += 1;
+                    black_box(net.query(q))
+                })
+            },
+        );
     }
     // §5.3 local index ablation.
     let mut net = warm_network(SystemConfig::default().with_local_index(true).with_seed(5));

@@ -65,15 +65,19 @@ fn main() {
         print_row(&mut csv, name, "LSH approximate (Jaccard)", measured, hops);
 
         // And with containment matching.
-        let mut approx_c = RangeSelectNetwork::new(
-            N_PEERS,
-            config.with_matching(MatchMeasure::Containment),
-        );
+        let mut approx_c =
+            RangeSelectNetwork::new(N_PEERS, config.with_matching(MatchMeasure::Containment));
         let outs = approx_c.run_trace(trace.queries());
         let measured = &outs[cut..];
         let s = approx_c.stats();
         let hops = s.total_hops as f64 / s.queries as f64;
-        print_row(&mut csv, name, "LSH approximate (containment)", measured, hops);
+        print_row(
+            &mut csv,
+            name,
+            "LSH approximate (containment)",
+            measured,
+            hops,
+        );
         println!();
     }
     let path = results_path("baseline_comparison.csv");
@@ -90,9 +94,7 @@ fn print_row(
 ) {
     let full = pct_fully_answered(outs);
     let mean = mean_recall(outs);
-    println!(
-        "{workload:<26} {system:<26} {full:>15.1}% {mean:>12.3} {hops_per_query:>12.2}"
-    );
+    println!("{workload:<26} {system:<26} {full:>15.1}% {mean:>12.3} {hops_per_query:>12.2}");
     csv.push_row([
         workload.to_string(),
         system.to_string(),

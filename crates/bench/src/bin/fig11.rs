@@ -9,11 +9,11 @@
 //! Usage: `cargo run --release -p ars-bench --bin fig11`
 
 use ars_bench::experiments::results_path;
-use ars_common::csv::{fmt_f64, CsvTable};
-use ars_common::Summary;
 use ars_chord::sha1::sha1_u32;
 use ars_chord::{Id, VirtualRing};
+use ars_common::csv::{fmt_f64, CsvTable};
 use ars_common::DetRng;
+use ars_common::Summary;
 use ars_core::config::Placement;
 use ars_core::{RangeSelectNetwork, SystemConfig};
 use ars_lsh::{HashGroups, LshFamilyKind};
@@ -53,8 +53,7 @@ fn main() {
     );
     let mut csv_a = CsvTable::new(["peers", "mean", "p01", "p99", "max"]);
     for n_peers in [100usize, 250, 500, 1000, 2500, 5000] {
-        let mut net =
-            RangeSelectNetwork::new(n_peers, SystemConfig::default().with_seed(1101));
+        let mut net = RangeSelectNetwork::new(n_peers, SystemConfig::default().with_seed(1101));
         populate(&mut net, 10_000, 7);
         let s = summarize(&net);
         println!(

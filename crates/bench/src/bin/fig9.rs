@@ -15,8 +15,7 @@ fn main() {
         ("containment", MatchMeasure::Containment),
         ("jaccard", MatchMeasure::Jaccard),
     ] {
-        let outcomes =
-            run_quality_experiment(SystemConfig::default().with_matching(measure));
+        let outcomes = run_quality_experiment(SystemConfig::default().with_matching(measure));
         let curve = recall_curve(&outcomes);
         println!("\n## {name}");
         println!("{:>18} {:>18}", "recall ≥", "% of queries");

@@ -49,18 +49,21 @@ pub fn run_quality_experiment(config: SystemConfig) -> Vec<QueryOutcome> {
     all[cut..].to_vec()
 }
 
-/// Resolve the output path for a results CSV (repo-root `results/`).
-pub fn results_path(name: &str) -> std::path::PathBuf {
-    // Walk up from the crate dir to the workspace root if needed.
+/// Resolve the workspace root (the ancestor of the crate dir holding both
+/// `Cargo.toml` and `crates/`).
+pub fn repo_root() -> std::path::PathBuf {
     let base = std::env::var("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| std::path::PathBuf::from("."));
-    let root = base
-        .ancestors()
+    base.ancestors()
         .find(|p| p.join("Cargo.toml").exists() && p.join("crates").exists())
         .map(std::path::Path::to_path_buf)
-        .unwrap_or(base);
-    root.join("results").join(name)
+        .unwrap_or(base)
+}
+
+/// Resolve the output path for a results CSV (repo-root `results/`).
+pub fn results_path(name: &str) -> std::path::PathBuf {
+    repo_root().join("results").join(name)
 }
 
 #[cfg(test)]

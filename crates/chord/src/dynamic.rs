@@ -164,11 +164,7 @@ impl DynamicNetwork {
         self.alive.remove(&id.0);
         self.nodes.remove(&id.0);
         // Tell the predecessor to adopt our successor and vice versa.
-        let succ = state
-            .successors
-            .iter()
-            .copied()
-            .find(|&s| self.is_alive(s));
+        let succ = state.successors.iter().copied().find(|&s| self.is_alive(s));
         if let (Some(pred), Some(succ)) = (state.predecessor, succ) {
             if let Some(p) = self.nodes.get_mut(&pred.0) {
                 p.successors.retain(|&s| s != id);
@@ -406,7 +402,10 @@ mod tests {
     #[test]
     fn duplicate_join_rejected() {
         let mut net = DynamicNetwork::bootstrap(Id(1), 4);
-        assert_eq!(net.join(Id(1), Id(1)), Err(ChordError::DuplicateNode(Id(1))));
+        assert_eq!(
+            net.join(Id(1), Id(1)),
+            Err(ChordError::DuplicateNode(Id(1)))
+        );
     }
 
     #[test]

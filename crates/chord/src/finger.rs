@@ -52,7 +52,11 @@ impl FingerTable {
     /// Returns `None` when no finger lies strictly between — the caller
     /// then falls through to the immediate successor.
     pub fn closest_preceding(&self, key: Id) -> Option<Id> {
-        self.entries.iter().rev().find(|&&f| f.in_open(self.owner, key)).copied()
+        self.entries
+            .iter()
+            .rev()
+            .find(|&&f| f.in_open(self.owner, key))
+            .copied()
     }
 }
 

@@ -27,7 +27,13 @@ impl Sha1 {
     /// Initial state per FIPS 180-1.
     pub fn new() -> Sha1 {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -151,13 +157,18 @@ mod tests {
 
     #[test]
     fn fips_vector_abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn fips_vector_two_blocks() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -202,7 +213,10 @@ mod tests {
     #[test]
     fn sha1_u32_is_first_word() {
         let d = sha1(b"abc");
-        assert_eq!(sha1_u32(b"abc"), u32::from_be_bytes([d[0], d[1], d[2], d[3]]));
+        assert_eq!(
+            sha1_u32(b"abc"),
+            u32::from_be_bytes([d[0], d[1], d[2], d[3]])
+        );
         assert_eq!(sha1_u32(b"abc"), 0xa9993e36);
     }
 

@@ -35,9 +35,7 @@ impl VirtualRing {
             for _ in 0..vnodes_per_peer {
                 loop {
                     let id = rng.next_u32();
-                    if let std::collections::hash_map::Entry::Vacant(e) =
-                        physical_of.entry(id)
-                    {
+                    if let std::collections::hash_map::Entry::Vacant(e) = physical_of.entry(id) {
                         e.insert(peer);
                         ids.push(Id(id));
                         break;

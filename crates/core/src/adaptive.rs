@@ -186,7 +186,10 @@ mod tests {
             peers_contacted: 0,
         };
         // Drive up first.
-        let miss = QueryOutcome { recall: 0.0, ..hit.clone() };
+        let miss = QueryOutcome {
+            recall: 0.0,
+            ..hit.clone()
+        };
         for _ in 0..10 {
             c.observe(&miss);
         }

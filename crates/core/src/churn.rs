@@ -171,9 +171,7 @@ impl ChurnNetwork {
         if succ != new {
             let placement = self.config.placement;
             let place = move |ident: u32| match placement {
-                Placement::Uniformized => {
-                    Id(ars_chord::sha1::sha1_u32(&ident.to_be_bytes()))
-                }
+                Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&ident.to_be_bytes())),
                 Placement::Direct => Id(ident),
             };
             let moved: Vec<(u32, ars_lsh::RangeSet)> = {

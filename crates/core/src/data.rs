@@ -164,15 +164,12 @@ impl DataNetwork {
                         // uncovered remainder from the source.
                         if let Some(partial) = part.refine(&overlap) {
                             let residual = range.difference(part.range());
-                            debug_assert_eq!(
-                                overlap.len() + residual.len(),
-                                range.len()
-                            );
-                            let base = self.sources.get(relation).ok_or_else(|| {
-                                ExecError::UnknownRelation(relation.to_string())
-                            })?;
-                            let rest =
-                                HorizontalPartition::select_from(base, attr, &residual);
+                            debug_assert_eq!(overlap.len() + residual.len(), range.len());
+                            let base = self
+                                .sources
+                                .get(relation)
+                                .ok_or_else(|| ExecError::UnknownRelation(relation.to_string()))?;
+                            let rest = HorizontalPartition::select_from(base, attr, &residual);
                             let schema = partial.schema().clone();
                             let mut tuples = partial.tuples().to_vec();
                             tuples.extend(rest.tuples().iter().cloned());
@@ -410,7 +407,7 @@ mod tests {
         // filtered locally.
         let mut net = DataNetwork::new(20, SystemConfig::default().with_seed(8), sources());
         let preds = vec![
-            Predicate::range("age", 0, 1000), // broad
+            Predicate::range("age", 0, 1000),     // broad
             Predicate::range("patient_id", 5, 9), // selective
         ];
         let r = net.fetch("Patient", &preds).unwrap();

@@ -94,11 +94,7 @@ impl ExactMatchNetwork {
         self.total_hops += hops as u64;
         let bucket = self.peers.get_mut(&owner.0).expect("owner exists");
         let hit = bucket.contains(q);
-        let stored = if hit {
-            false
-        } else {
-            bucket.insert(q.clone())
-        };
+        let stored = if hit { false } else { bucket.insert(q.clone()) };
         QueryOutcome {
             query: q.clone(),
             best_match: hit.then(|| q.clone()),

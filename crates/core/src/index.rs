@@ -103,20 +103,20 @@ impl IntervalIndex {
         }
         let qlo = query.min_value()?;
         let qhi = query.max_value()?;
-        let mut best: Option<Match> = None;
-        let mut consider = |range: &RangeSet| {
+        // Track the best candidate by reference; the winning range is
+        // cloned exactly once, when the Match is built.
+        fn consider<'a>(
+            best: &mut Option<(&'a RangeSet, f64)>,
+            query: &RangeSet,
+            range: &'a RangeSet,
+            measure: MatchMeasure,
+        ) {
             let score = crate::bucket::score(query, range, measure);
-            let better = match &best {
-                None => true,
-                Some(b) => score > b.score,
-            };
-            if better {
-                best = Some(Match {
-                    range: range.clone(),
-                    score,
-                });
+            if best.is_none_or(|(_, s)| score > s) {
+                *best = Some((range, score));
             }
-        };
+        }
+        let mut best: Option<(&RangeSet, f64)> = None;
 
         // Base: entries with start ≤ qhi form a prefix (sorted by start).
         let hi_idx = self.base.partition_point(|e| e.start <= qhi);
@@ -129,30 +129,35 @@ impl IntervalIndex {
             // This entry itself may still not overlap (prefix max can come
             // from an earlier entry); cheap bound check first.
             if e.range.max_value().unwrap_or(0) >= qlo {
-                consider(&e.range);
+                consider(&mut best, query, &e.range, measure);
             }
         }
         // Staging: plain scan.
         for r in &self.staging {
             if r.max_value().unwrap_or(0) >= qlo && r.min_value().unwrap_or(u32::MAX) <= qhi {
-                consider(r);
+                consider(&mut best, query, r, measure);
             }
         }
-        // Degenerate fallback: nothing overlapped — report a zero-score
-        // candidate so behaviour matches the linear scan (which always
-        // returns *some* match from a non-empty store).
-        if best.is_none() {
-            let first = self
-                .base
-                .first()
-                .map(|e| &e.range)
-                .or(self.staging.first())?;
-            best = Some(Match {
-                range: first.clone(),
-                score: 0.0,
-            });
+        match best {
+            Some((range, score)) => Some(Match {
+                range: range.clone(),
+                score,
+            }),
+            // Degenerate fallback: nothing overlapped — report a zero-score
+            // candidate so behaviour matches the linear scan (which always
+            // returns *some* match from a non-empty store).
+            None => {
+                let first = self
+                    .base
+                    .first()
+                    .map(|e| &e.range)
+                    .or(self.staging.first())?;
+                Some(Match {
+                    range: first.clone(),
+                    score: 0.0,
+                })
+            }
         }
-        best
     }
 }
 
@@ -234,8 +239,7 @@ mod tests {
             if i % 37 == 0 {
                 let q = r(450, 520);
                 let via_index = idx.best_match(&q, MatchMeasure::Containment).unwrap();
-                let via_scan =
-                    best_of(all.iter(), &q, MatchMeasure::Containment).unwrap();
+                let via_scan = best_of(all.iter(), &q, MatchMeasure::Containment).unwrap();
                 assert_eq!(via_index.score, via_scan.score);
             }
         }

@@ -33,11 +33,11 @@
 pub mod adaptive;
 pub mod bucket;
 pub mod churn;
+pub mod config;
 pub mod data;
 pub mod exact;
 pub mod index;
 pub mod multiattr;
-pub mod config;
 pub mod network;
 pub mod peer;
 pub mod proto;
@@ -45,8 +45,8 @@ pub mod recall;
 
 pub use adaptive::{AdaptiveClient, AdaptivePadding};
 pub use bucket::Bucket;
-pub use config::{MatchMeasure, SystemConfig};
 pub use churn::ChurnNetwork;
+pub use config::{MatchMeasure, SystemConfig};
 pub use data::DataNetwork;
 pub use exact::ExactMatchNetwork;
 pub use multiattr::{MultiAttrNetwork, MultiRange};

@@ -59,7 +59,10 @@ impl MultiRange {
                 "duplicate attribute {attr}"
             );
         }
-        assert!(!by_attr.is_empty(), "a MultiRange needs at least one attribute");
+        assert!(
+            !by_attr.is_empty(),
+            "a MultiRange needs at least one attribute"
+        );
         MultiRange { by_attr }
     }
 
@@ -357,10 +360,7 @@ mod tests {
         let ta = tuples(&a);
         let tb = tuples(&b);
         assert_eq!(a.len(), ta.len() as u128);
-        assert_eq!(
-            a.intersection_len(&b),
-            ta.intersection(&tb).count() as u128
-        );
+        assert_eq!(a.intersection_len(&b), ta.intersection(&tb).count() as u128);
     }
 
     #[test]
@@ -401,11 +401,8 @@ mod tests {
 
     #[test]
     fn cache_miss_then_exact_hit() {
-        let mut net = MultiAttrNetwork::new(
-            40,
-            ["age", "date"],
-            SystemConfig::default().with_seed(3),
-        );
+        let mut net =
+            MultiAttrNetwork::new(40, ["age", "date"], SystemConfig::default().with_seed(3));
         let q = mr((30, 50), (36_524, 37_619));
         let miss = net.query(&q);
         assert!(miss.best_match.is_none());
@@ -421,11 +418,8 @@ mod tests {
         // probabilities multiply but stay high.
         let mut hits = 0;
         for seed in 0..10 {
-            let mut net = MultiAttrNetwork::new(
-                40,
-                ["age", "date"],
-                SystemConfig::default().with_seed(seed),
-            );
+            let mut net =
+                MultiAttrNetwork::new(40, ["age", "date"], SystemConfig::default().with_seed(seed));
             net.query(&mr((30, 50), (100, 200)));
             let out = net.query(&mr((30, 49), (100, 199)));
             if out.best_match.is_some() {
@@ -437,11 +431,8 @@ mod tests {
 
     #[test]
     fn dissimilar_conjunctions_do_not_match() {
-        let mut net = MultiAttrNetwork::new(
-            40,
-            ["age", "date"],
-            SystemConfig::default().with_seed(8),
-        );
+        let mut net =
+            MultiAttrNetwork::new(40, ["age", "date"], SystemConfig::default().with_seed(8));
         net.query(&mr((0, 20), (0, 50)));
         let out = net.query(&mr((500, 600), (800, 900)));
         assert!(out.best_match.is_none() || out.similarity == 0.0);
@@ -451,8 +442,7 @@ mod tests {
     fn single_attribute_reduces_to_base_scheme() {
         // With one attribute the multi-attr machinery behaves like the
         // paper's base system: similar single ranges match.
-        let mut net =
-            MultiAttrNetwork::new(40, ["age"], SystemConfig::default().with_seed(2));
+        let mut net = MultiAttrNetwork::new(40, ["age"], SystemConfig::default().with_seed(2));
         let q1 = MultiRange::new([("age", RangeSet::interval(30, 50))]);
         let q2 = MultiRange::new([("age", RangeSet::interval(30, 50))]);
         net.query(&q1);

@@ -41,6 +41,41 @@ pub struct QueryOutcome {
     pub peers_contacted: usize,
 }
 
+/// Memoized identifier computation, keyed by the (padded) hashed range.
+///
+/// Group identifiers depend only on the hash groups, which are fixed at
+/// network construction, so entries never invalidate. Workload traces
+/// repeat ranges heavily (Zipf-style popularity), making this the dominant
+/// saving of the batched query path; the hit/miss counters quantify it.
+#[derive(Debug, Clone, Default)]
+pub struct IdentifierCache {
+    map: FxHashMap<RangeSet, Vec<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl IdentifierCache {
+    /// Cache lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache lookups that had to compute identifiers.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct ranges cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Aggregate statistics over a network's lifetime.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct NetworkStats {
@@ -67,6 +102,7 @@ pub struct RangeSelectNetwork {
     groups: HashGroups,
     rng: DetRng,
     stats: NetworkStats,
+    ident_cache: IdentifierCache,
 }
 
 impl RangeSelectNetwork {
@@ -111,6 +147,7 @@ impl RangeSelectNetwork {
             groups,
             rng,
             stats: NetworkStats::default(),
+            ident_cache: IdentifierCache::default(),
         }
     }
 
@@ -149,9 +186,7 @@ impl RangeSelectNetwork {
     /// placement policy.
     pub fn place(&self, identifier: u32) -> Id {
         match self.config.placement {
-            Placement::Uniformized => {
-                Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes()))
-            }
+            Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes())),
             Placement::Direct => Id(identifier),
         }
     }
@@ -187,14 +222,44 @@ impl RangeSelectNetwork {
     pub fn query_padded(&mut self, q: &RangeSet, padding: f64) -> QueryOutcome {
         assert!(!q.is_empty(), "cannot query an empty range");
         assert!(padding >= 0.0, "padding must be non-negative");
-        // §5.2 padding: expand before hashing/matching/caching.
-        let hashed_range = if padding > 0.0 {
+        let hashed_range = Self::hashed_range(q, padding);
+        let identifiers = self.cached_identifiers(&hashed_range);
+        self.finish_query(q, hashed_range, identifiers)
+    }
+
+    /// §5.2 padding: expand the query before hashing/matching/caching.
+    fn hashed_range(q: &RangeSet, padding: f64) -> RangeSet {
+        if padding > 0.0 {
             q.pad(padding)
         } else {
             q.clone()
-        };
-        let identifiers = self.groups.identifiers(&hashed_range);
+        }
+    }
 
+    /// Group identifiers for a hashed range, memoized in the
+    /// [`IdentifierCache`].
+    fn cached_identifiers(&mut self, hashed_range: &RangeSet) -> Vec<u32> {
+        if let Some(ids) = self.ident_cache.map.get(hashed_range) {
+            self.ident_cache.hits += 1;
+            return ids.clone();
+        }
+        self.ident_cache.misses += 1;
+        let ids = self.groups.identifiers(hashed_range);
+        self.ident_cache
+            .map
+            .insert(hashed_range.clone(), ids.clone());
+        ids
+    }
+
+    /// Everything after identifier computation: routing, matching, caching,
+    /// stats. Split out so the batched path can feed precomputed
+    /// identifiers while preserving the exact per-query RNG draw order.
+    fn finish_query(
+        &mut self,
+        q: &RangeSet,
+        hashed_range: RangeSet,
+        identifiers: Vec<u32>,
+    ) -> QueryOutcome {
         // Pick a random origin peer for routing (hop accounting).
         let origin = {
             let ids = self.ring.node_ids();
@@ -245,7 +310,11 @@ impl RangeSelectNetwork {
         // Score the match against the *original* query: similarity for
         // Figs. 6–7, recall for Figs. 8–10.
         let (similarity, recall, best_match) = match &best {
-            Some(m) => (q.jaccard(&m.range), q.containment_in(&m.range), Some(m.range.clone())),
+            Some(m) => (
+                q.jaccard(&m.range),
+                q.containment_in(&m.range),
+                Some(m.range.clone()),
+            ),
             None => (0.0, 0.0, None),
         };
 
@@ -283,6 +352,97 @@ impl RangeSelectNetwork {
         queries: I,
     ) -> Vec<QueryOutcome> {
         queries.into_iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Identifier-cache statistics (hits, misses, distinct entries).
+    pub fn identifier_cache(&self) -> &IdentifierCache {
+        &self.ident_cache
+    }
+
+    /// Execute a slice of queries, hashing in parallel.
+    ///
+    /// Identifier computation — the CPU-bound part, `k·l` min-hashes per
+    /// distinct range — is memoized per distinct hashed range and fanned
+    /// across worker threads. Everything stateful (routing RNG, peer
+    /// stores, stats) then runs sequentially in query order, so the
+    /// outcomes, statistics, and cache contents are bit-identical to
+    /// calling [`Self::query`] in a loop (asserted in tests).
+    pub fn query_batch(&mut self, queries: &[RangeSet]) -> Vec<QueryOutcome> {
+        let padding = self.config.padding;
+        for q in queries {
+            assert!(!q.is_empty(), "cannot query an empty range");
+        }
+        let hashed: Vec<RangeSet> = queries
+            .iter()
+            .map(|q| Self::hashed_range(q, padding))
+            .collect();
+
+        // Account hits/misses in query order (first occurrence of a range
+        // is the miss, repeats are hits), exactly as the sequential path
+        // would, and collect the distinct ranges that need computing.
+        let mut todo: Vec<&RangeSet> = Vec::new();
+        {
+            let mut seen: std::collections::HashSet<&RangeSet> = std::collections::HashSet::new();
+            for h in &hashed {
+                if self.ident_cache.map.contains_key(h) || !seen.insert(h) {
+                    self.ident_cache.hits += 1;
+                } else {
+                    self.ident_cache.misses += 1;
+                    todo.push(h);
+                }
+            }
+        }
+
+        // Fan the distinct uncached ranges across worker threads. Hashing
+        // is pure (`&HashGroups` is shared read-only), so parallelism
+        // cannot perturb determinism.
+        if !todo.is_empty() {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(todo.len());
+            let groups = &self.groups;
+            let next = parking_lot::Mutex::new(0usize);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let todo = &todo;
+                    s.spawn(move || loop {
+                        let i = {
+                            let mut n = next.lock();
+                            let i = *n;
+                            *n += 1;
+                            i
+                        };
+                        let Some(range) = todo.get(i) else { break };
+                        let ids = groups.identifiers(range);
+                        let _ = tx.send((i, ids));
+                    });
+                }
+            });
+            drop(tx);
+            let mut results: Vec<Option<Vec<u32>>> = vec![None; todo.len()];
+            while let Ok((i, ids)) = rx.recv() {
+                results[i] = Some(ids);
+            }
+            for (range, ids) in todo.into_iter().zip(results) {
+                let ids = ids.expect("worker delivered every claimed index");
+                self.ident_cache.map.insert(range.clone(), ids);
+            }
+        }
+
+        // Sequential finish preserves the RNG draw order and peer-store
+        // mutation order of the one-at-a-time path.
+        queries
+            .iter()
+            .zip(hashed)
+            .map(|(q, h)| {
+                let ids = self.ident_cache.map[&h].clone();
+                self.finish_query(q, h, ids)
+            })
+            .collect()
     }
 
     /// Store a partition range directly (bypassing the query path) — used
@@ -349,8 +509,7 @@ mod tests {
         // independent networks to avoid flakiness.
         let mut hits = 0;
         for seed in 0..10 {
-            let mut n =
-                RangeSelectNetwork::new(50, SystemConfig::default().with_seed(seed));
+            let mut n = RangeSelectNetwork::new(50, SystemConfig::default().with_seed(seed));
             n.query(&r(30, 50));
             let out = n.query(&r(30, 49));
             if out.best_match == Some(r(30, 50)) {
@@ -370,10 +529,7 @@ mod tests {
 
     #[test]
     fn cache_off_never_stores() {
-        let mut n = RangeSelectNetwork::new(
-            30,
-            SystemConfig::default().with_cache_on_miss(false),
-        );
+        let mut n = RangeSelectNetwork::new(30, SystemConfig::default().with_cache_on_miss(false));
         n.query(&r(1, 10));
         n.query(&r(1, 10));
         assert_eq!(n.total_partitions(), 0);
@@ -382,10 +538,8 @@ mod tests {
 
     #[test]
     fn padding_stores_padded_range() {
-        let mut n = RangeSelectNetwork::new(
-            30,
-            SystemConfig::default().with_padding(0.2).with_seed(5),
-        );
+        let mut n =
+            RangeSelectNetwork::new(30, SystemConfig::default().with_padding(0.2).with_seed(5));
         // [100,199] padded 20% → [80,219].
         n.query(&r(100, 199));
         let padded = r(80, 219);
@@ -482,5 +636,90 @@ mod tests {
         let outs = n.run_trace(queries.iter());
         assert_eq!(outs.len(), 3);
         assert!(outs[2].exact);
+    }
+
+    #[test]
+    fn identifier_cache_counts_hits_and_misses() {
+        let mut n = net(20);
+        n.query(&r(0, 10));
+        n.query(&r(0, 10));
+        n.query(&r(5, 15));
+        let c = n.identifier_cache();
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    /// A trace with repeats, overlaps, and multi-peer spread.
+    fn batch_trace() -> Vec<RangeSet> {
+        let mut qs = Vec::new();
+        for i in 0..40u32 {
+            let lo = (i * 37) % 900;
+            qs.push(r(lo, lo + 10 + (i % 7) * 30));
+            if i % 3 == 0 {
+                qs.push(r(30, 50)); // popular repeat
+            }
+        }
+        qs
+    }
+
+    #[test]
+    fn query_batch_identical_to_sequential() {
+        let config = SystemConfig::default().with_seed(42).with_padding(0.1);
+        let mut seq = RangeSelectNetwork::new(40, config.clone());
+        let mut bat = RangeSelectNetwork::new(40, config);
+        let trace = batch_trace();
+
+        let out_seq: Vec<QueryOutcome> = trace.iter().map(|q| seq.query(q)).collect();
+        let out_bat = bat.query_batch(&trace);
+
+        assert_eq!(out_seq, out_bat);
+        assert_eq!(seq.stats(), bat.stats());
+        assert_eq!(seq.total_partitions(), bat.total_partitions());
+        // Cache accounting matches the sequential path exactly.
+        assert_eq!(seq.identifier_cache().hits(), bat.identifier_cache().hits());
+        assert_eq!(
+            seq.identifier_cache().misses(),
+            bat.identifier_cache().misses()
+        );
+        assert_eq!(seq.identifier_cache().len(), bat.identifier_cache().len());
+        assert!(bat.identifier_cache().hits() > 0, "trace has repeats");
+    }
+
+    #[test]
+    fn query_batch_then_queries_stay_consistent() {
+        // Interleaving batch and single-query calls shares the same cache
+        // and RNG stream as an all-sequential run.
+        let config = SystemConfig::default().with_seed(7);
+        let mut seq = RangeSelectNetwork::new(25, config.clone());
+        let mut mixed = RangeSelectNetwork::new(25, config);
+        let trace = batch_trace();
+        let (head, tail) = trace.split_at(trace.len() / 2);
+
+        let mut out_seq: Vec<QueryOutcome> = Vec::new();
+        for q in &trace {
+            out_seq.push(seq.query(q));
+        }
+        let mut out_mixed = mixed.query_batch(head);
+        for q in tail {
+            out_mixed.push(mixed.query(q));
+        }
+        assert_eq!(out_seq, out_mixed);
+        assert_eq!(seq.stats(), mixed.stats());
+    }
+
+    #[test]
+    fn query_batch_empty_slice_is_noop() {
+        let mut n = net(10);
+        let outs = n.query_batch(&[]);
+        assert!(outs.is_empty());
+        assert_eq!(n.stats().queries, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn query_batch_rejects_empty_range() {
+        net(5).query_batch(&[RangeSet::empty()]);
     }
 }

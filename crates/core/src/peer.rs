@@ -185,7 +185,9 @@ mod tests {
     #[test]
     fn local_index_empty_peer() {
         let p = Peer::new(Id(0));
-        assert!(p.best_across_buckets(&r(0, 1), MatchMeasure::Jaccard).is_none());
+        assert!(p
+            .best_across_buckets(&r(0, 1), MatchMeasure::Jaccard)
+            .is_none());
     }
 
     #[test]

@@ -350,15 +350,18 @@ impl Node<ProtoMsg> for PeerNode {
                 hops,
                 best,
             } => {
-                self.sink.lock().expect("sink poisoned").push(CollectedReply {
-                    request,
-                    identifier,
-                    hops,
-                    best: best.map(|(range, score)| Match {
-                        range: from_wire(&range),
-                        score,
-                    }),
-                });
+                self.sink
+                    .lock()
+                    .expect("sink poisoned")
+                    .push(CollectedReply {
+                        request,
+                        identifier,
+                        hops,
+                        best: best.map(|(range, score)| Match {
+                            range: from_wire(&range),
+                            score,
+                        }),
+                    });
             }
             ProtoMsg::StoreAck { .. } => {}
         }
@@ -892,14 +895,10 @@ mod tests {
 
     #[test]
     fn lossy_transport_degrades_gracefully() {
-        let mut net = ProtoNetwork::new_lossy(
-            30,
-            SystemConfig::default().with_seed(21),
-            0.3,
-            99,
-        );
-        let trace_queries: Vec<RangeSet> =
-            (0..60).map(|i| RangeSet::interval(i * 10, i * 10 + 40)).collect();
+        let mut net = ProtoNetwork::new_lossy(30, SystemConfig::default().with_seed(21), 0.3, 99);
+        let trace_queries: Vec<RangeSet> = (0..60)
+            .map(|i| RangeSet::interval(i * 10, i * 10 + 40))
+            .collect();
         let mut answered = 0;
         for q in &trace_queries {
             let out = net.query(q);

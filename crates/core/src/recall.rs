@@ -5,9 +5,7 @@ use ars_common::stats::{pct_at_least, Histogram};
 
 /// Recall thresholds used for the Figs. 8–10 curves (x-axis points from
 /// 1.0 down to 0.0 as the paper draws them).
-pub const RECALL_THRESHOLDS: [f64; 11] = [
-    1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0,
-];
+pub const RECALL_THRESHOLDS: [f64; 11] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0];
 
 /// The Figs. 6–7 series: a 10-bin histogram over `[0, 1]` of the Jaccard
 /// similarity of each query's matched partition, as *percentages of
@@ -89,9 +87,7 @@ mod tests {
 
     #[test]
     fn recall_curve_monotone_nonincreasing_in_threshold() {
-        let outs: Vec<QueryOutcome> = (0..=10)
-            .map(|i| outcome(0.5, i as f64 / 10.0))
-            .collect();
+        let outs: Vec<QueryOutcome> = (0..=10).map(|i| outcome(0.5, i as f64 / 10.0)).collect();
         let curve = recall_curve(&outs);
         assert_eq!(curve.len(), RECALL_THRESHOLDS.len());
         // Thresholds descend 1.0 → 0.0, so percentages ascend.

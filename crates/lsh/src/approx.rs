@@ -9,6 +9,7 @@
 
 use crate::grp::{grp_one, random_balanced_key, BitPerm};
 use crate::range::RangeSet;
+use crate::rangeaware::RangeAwareBitPerm;
 use ars_common::DetRng;
 
 /// An approximate min-wise permutation: one GRP step with a balanced
@@ -46,8 +47,21 @@ impl ApproxMinWisePerm {
         grp_one(x, self.key, 32)
     }
 
-    /// Min-hash of a range set by enumeration.
+    /// Min-hash of a range set. Small sets are enumerated; larger ones go
+    /// through a [`RangeAwareBitPerm`] built on the fly. Values are
+    /// identical to [`ApproxMinWisePerm::min_hash_enumerate`].
     pub fn min_hash(&self, q: &RangeSet) -> u32 {
+        assert!(!q.is_empty(), "min-hash of an empty range set");
+        if q.len() <= crate::rangeaware::ENUMERATE_WIDTH_MAX {
+            q.iter().map(|v| self.permute(v)).min().unwrap()
+        } else {
+            RangeAwareBitPerm::compile(|x| self.permute(x)).min_hash(q)
+        }
+    }
+
+    /// Min-hash by enumerating every value of the set — the paper's Fig. 5
+    /// evaluation, kept as the oracle for the range-aware path.
+    pub fn min_hash_enumerate(&self, q: &RangeSet) -> u32 {
         assert!(!q.is_empty(), "min-hash of an empty range set");
         q.iter().map(|v| self.permute(v)).min().unwrap()
     }

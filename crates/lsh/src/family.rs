@@ -8,6 +8,7 @@ use crate::approx::ApproxMinWisePerm;
 use crate::linear::LinearPerm;
 use crate::minwise::MinWisePerm;
 use crate::range::RangeSet;
+use crate::rangeaware::RangeAwareBitPerm;
 use ars_common::DetRng;
 
 /// Which hash family to use (the paper's three candidates, §5.1).
@@ -100,15 +101,33 @@ impl LshFunction {
         }
     }
 
-    /// Min-hash of a range set.
+    /// Min-hash of a range set, via each family's fastest value-identical
+    /// evaluator: the range-aware greedy descent for the GRP families
+    /// (small sets still enumerate — see `rangeaware::ENUMERATE_WIDTH_MAX`)
+    /// and the closed-form interval minimum for the linear families.
+    /// Bit-for-bit equal to [`LshFunction::min_hash_enumerate`]
+    /// (property-tested in `tests/property_invariants.rs`).
     #[inline]
     pub fn min_hash(&self, q: &RangeSet) -> u32 {
         match self {
             LshFunction::MinWise(p) => p.min_hash(q),
             LshFunction::Approx(p) => p.min_hash(q),
-            LshFunction::Linear(p) => p.min_hash_enumerate(q),
-            LshFunction::LinearClosedForm(p) => p.min_hash(q),
-            LshFunction::LinearDomain(p) => p.min_hash_enumerate(q),
+            LshFunction::Linear(p)
+            | LshFunction::LinearClosedForm(p)
+            | LshFunction::LinearDomain(p) => p.min_hash(q),
+        }
+    }
+
+    /// Min-hash by enumerating every value of the set — the evaluation the
+    /// paper's Fig. 5 times, kept as the oracle for [`LshFunction::min_hash`].
+    #[inline]
+    pub fn min_hash_enumerate(&self, q: &RangeSet) -> u32 {
+        match self {
+            LshFunction::MinWise(p) => p.min_hash_enumerate(q),
+            LshFunction::Approx(p) => p.min_hash_enumerate(q),
+            LshFunction::Linear(p)
+            | LshFunction::LinearClosedForm(p)
+            | LshFunction::LinearDomain(p) => p.min_hash_enumerate(q),
         }
     }
 
@@ -129,8 +148,14 @@ impl LshFunction {
     /// for the linear families.
     pub fn compile(&self) -> CompiledLshFunction {
         match self {
-            LshFunction::MinWise(p) => CompiledLshFunction::Bit(p.compile()),
-            LshFunction::Approx(p) => CompiledLshFunction::Bit(p.compile()),
+            LshFunction::MinWise(p) => CompiledLshFunction::Bit {
+                tables: p.compile(),
+                kernel: RangeAwareBitPerm::compile(|x| p.permute(x)),
+            },
+            LshFunction::Approx(p) => CompiledLshFunction::Bit {
+                tables: p.compile(),
+                kernel: RangeAwareBitPerm::compile(|x| p.permute(x)),
+            },
             LshFunction::Linear(p)
             | LshFunction::LinearClosedForm(p)
             | LshFunction::LinearDomain(p) => CompiledLshFunction::Linear(*p),
@@ -143,20 +168,44 @@ impl LshFunction {
 /// changes. The `hash_ablation` bench quantifies the difference.
 #[derive(Debug, Clone)]
 pub enum CompiledLshFunction {
-    /// Table-driven fixed bit permutation (min-wise / approx families).
-    Bit(crate::grp::BitPerm),
+    /// Fixed bit permutation (min-wise / approx families): byte tables for
+    /// enumerating narrow intervals plus the range-aware kernel for wide
+    /// ones.
+    Bit {
+        /// Table-driven evaluator — fastest per single value.
+        tables: crate::grp::BitPerm,
+        /// Greedy-descent evaluator — `O(32²)` per interval of any width.
+        kernel: RangeAwareBitPerm,
+    },
     /// Linear permutation evaluated with the closed-form interval minimum.
     Linear(LinearPerm),
 }
 
+/// Compiled bit-permutation intervals at most this wide are enumerated
+/// through the byte tables (≈4 lookups per value) instead of running the
+/// `O(32²)` greedy descent; the crossover sits near 128 values.
+pub const COMPILED_ENUMERATE_WIDTH_MAX: u64 = 128;
+
 impl CompiledLshFunction {
-    /// Min-hash of a range set.
+    /// Min-hash of a range set. Value-identical to the source function's
+    /// [`LshFunction::min_hash`]; per-interval the bit families pick table
+    /// enumeration or the range-aware kernel by width.
     #[inline]
     pub fn min_hash(&self, q: &RangeSet) -> u32 {
         match self {
-            CompiledLshFunction::Bit(p) => {
+            CompiledLshFunction::Bit { tables, kernel } => {
                 assert!(!q.is_empty(), "min-hash of an empty range set");
-                q.iter().map(|v| p.permute(v)).min().unwrap()
+                q.intervals()
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        if ((hi - lo) as u64) < COMPILED_ENUMERATE_WIDTH_MAX {
+                            (lo..=hi).map(|v| tables.permute(v)).min().unwrap()
+                        } else {
+                            kernel.min_interval(lo, hi)
+                        }
+                    })
+                    .min()
+                    .unwrap()
             }
             CompiledLshFunction::Linear(p) => p.min_hash(q),
         }

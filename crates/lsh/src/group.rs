@@ -77,13 +77,13 @@ impl HashGroups {
             .collect()
     }
 
-    /// Reference (uncompiled) identifier computation — the evaluation the
-    /// paper's Fig. 5 times. Used by the ablation bench and as a test
-    /// oracle for the compiled path.
+    /// Reference identifier computation by full enumeration — the
+    /// evaluation the paper's Fig. 5 times. Used by the ablation bench and
+    /// as the oracle the fast paths are tested against.
     pub fn identifiers_reference(&self, q: &RangeSet) -> Vec<u32> {
         self.groups
             .iter()
-            .map(|g| g.iter().fold(0u32, |acc, h| acc ^ h.min_hash(q)))
+            .map(|g| g.iter().fold(0u32, |acc, h| acc ^ h.min_hash_enumerate(q)))
             .collect()
     }
 

@@ -275,8 +275,9 @@ mod tests {
     #[test]
     fn random_balanced_keys_vary() {
         let mut rng = DetRng::new(4);
-        let keys: std::collections::HashSet<u32> =
-            (0..100).map(|_| random_balanced_key(&mut rng, 32)).collect();
+        let keys: std::collections::HashSet<u32> = (0..100)
+            .map(|_| random_balanced_key(&mut rng, 32))
+            .collect();
         assert!(keys.len() > 90, "keys barely vary: {}", keys.len());
     }
 

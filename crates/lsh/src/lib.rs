@@ -14,6 +14,9 @@
 //!   * [`linear::LinearPerm`] — `π(x) = a·x + b mod p`, with both the
 //!     enumerate-every-value evaluation the paper measures and a closed-form
 //!     `O(log p)` minimum over a contiguous interval;
+//! * [`rangeaware::RangeAwareBitPerm`] — exact interval min-hash for the
+//!   bit-shuffle families in `O(32²)` per interval regardless of width,
+//!   replacing the enumeration the paper times in Fig. 5;
 //! * [`group::HashGroups`] — the `l` groups × `k` functions amplification
 //!   that turns per-function collision probability `p` into
 //!   `1 − (1 − pᵏ)ˡ`, a step-like curve (the paper uses `k = 20`, `l = 5`).
@@ -45,6 +48,7 @@ pub mod grp;
 pub mod linear;
 pub mod minwise;
 pub mod range;
+pub mod rangeaware;
 
 pub use approx::ApproxMinWisePerm;
 pub use family::{CompiledLshFunction, LshFamilyKind, LshFunction};
@@ -52,3 +56,4 @@ pub use group::{match_probability, HashGroups};
 pub use linear::LinearPerm;
 pub use minwise::MinWisePerm;
 pub use range::RangeSet;
+pub use rangeaware::RangeAwareBitPerm;

@@ -224,11 +224,7 @@ mod tests {
                 for b in 0..m.min(20) {
                     for n in 0..30u64 {
                         let brute = (0..=n).map(|i| (a * i + b) % m).min().unwrap();
-                        assert_eq!(
-                            min_affine_mod(a, b, m, n),
-                            brute,
-                            "a={a} b={b} m={m} n={n}"
-                        );
+                        assert_eq!(min_affine_mod(a, b, m, n), brute, "a={a} b={b} m={m} n={n}");
                     }
                 }
             }

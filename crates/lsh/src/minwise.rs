@@ -10,6 +10,7 @@
 
 use crate::grp::{grp_blocks, random_balanced_key, replicate_key, BitPerm};
 use crate::range::RangeSet;
+use crate::rangeaware::RangeAwareBitPerm;
 use ars_common::DetRng;
 
 /// Block widths of the 5 permutation levels for a 32-bit domain.
@@ -65,11 +66,8 @@ impl MinWisePerm {
     /// The paper's compact two-integer key encoding:
     /// `(k32, k16 | k8 << 16 | k4 << 24 | k2 << 28)`.
     pub fn compact_keys(&self) -> (u32, u32) {
-        let [_, k16, k8, k4, k2] = self.sub_keys;
-        (
-            self.sub_keys[0],
-            k16 | (k8 << 16) | (k4 << 24) | (k2 << 28),
-        )
+        let [k32, k16, k8, k4, k2] = self.sub_keys;
+        (k32, k16 | (k8 << 16) | (k4 << 24) | (k2 << 28))
     }
 
     /// Rebuild a permutation from the compact encoding.
@@ -91,10 +89,24 @@ impl MinWisePerm {
         v
     }
 
-    /// Min-hash of a range set: the minimum permuted value, computed by
-    /// enumerating every value (the evaluation strategy whose cost the
-    /// paper's Fig. 5 measures).
+    /// Min-hash of a range set. Small sets are enumerated; larger ones go
+    /// through a [`RangeAwareBitPerm`] built on the fly (32 permutations to
+    /// compile, then `O(32²)` per interval regardless of width). Values are
+    /// identical to [`MinWisePerm::min_hash_enumerate`]; only the cost
+    /// differs.
     pub fn min_hash(&self, q: &RangeSet) -> u32 {
+        assert!(!q.is_empty(), "min-hash of an empty range set");
+        if q.len() <= crate::rangeaware::ENUMERATE_WIDTH_MAX {
+            q.iter().map(|v| self.permute(v)).min().unwrap()
+        } else {
+            RangeAwareBitPerm::compile(|x| self.permute(x)).min_hash(q)
+        }
+    }
+
+    /// Min-hash by enumerating every value of the set — the evaluation
+    /// strategy whose cost the paper's Fig. 5 measures. Kept as the oracle
+    /// the range-aware path is property-tested against.
+    pub fn min_hash_enumerate(&self, q: &RangeSet) -> u32 {
         assert!(!q.is_empty(), "min-hash of an empty range set");
         q.iter().map(|v| self.permute(v)).min().unwrap()
     }
@@ -141,7 +153,9 @@ mod tests {
     fn distinct_permutations_differ() {
         let p1 = perm(1);
         let p2 = perm(2);
-        let diffs = (0u32..100).filter(|&x| p1.permute(x) != p2.permute(x)).count();
+        let diffs = (0u32..100)
+            .filter(|&x| p1.permute(x) != p2.permute(x))
+            .count();
         assert!(diffs > 90, "only {diffs} of 100 values differed");
     }
 
@@ -254,7 +268,10 @@ mod tests {
             c_mid >= c_lo,
             "expected mid {c_mid:.3} >= disjoint {c_lo:.3}"
         );
-        assert!(c_lo < 0.05, "disjoint ranges almost never collide, got {c_lo:.3}");
+        assert!(
+            c_lo < 0.05,
+            "disjoint ranges almost never collide, got {c_lo:.3}"
+        );
     }
 
     proptest! {

@@ -188,12 +188,7 @@ impl RangeSet {
 
     /// The union as a new `RangeSet`.
     pub fn union(&self, other: &RangeSet) -> RangeSet {
-        RangeSet::from_intervals(
-            self.intervals
-                .iter()
-                .chain(other.intervals.iter())
-                .copied(),
-        )
+        RangeSet::from_intervals(self.intervals.iter().chain(other.intervals.iter()).copied())
     }
 
     /// Jaccard set similarity `|A∩B| / |A∪B|` (the measure the paper's LSH

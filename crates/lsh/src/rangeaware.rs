@@ -1,0 +1,319 @@
+//! Range-aware min-hash evaluation for bit-position permutations.
+//!
+//! Every GRP network (one level or five) maps each input bit position to a
+//! fixed output bit position. For such permutations the interval minimum
+//! `min { π(x) : x ∈ [lo, hi] }` does not require enumerating the interval:
+//! decide the output bits most-significant first, greedily trying to force
+//! each one to 0, with an exact feasibility check per decision. Each check
+//! is `O(32)` ([`min_matching_ge`]), so an interval of *any* width costs
+//! `O(32²)` — the paper's Fig. 5 enumeration cost `O(|Q|·perm)` collapses
+//! to a constant (see DESIGN.md §6 and the `bench_json` harness).
+//!
+//! Correctness sketch: process output bits 31 → 0, accumulating constraints
+//! on *input* bits (output bit `j` is fed by exactly one input bit). At
+//! each step ask "is there an `x ∈ [lo, hi]` whose constrained input bits
+//! match the forced values, with the current bit forced to 0?" — if yes,
+//! the minimum has 0 there (any assignment with 1 is numerically larger in
+//! the output, since all higher output bits are already fixed); if no, every
+//! feasible `x` has a 1 there. Feasibility is decided exactly: the smallest
+//! `x ≥ lo` matching a partial bit assignment exists in closed form, and it
+//! is in range iff it is `≤ hi`. After 32 decisions the constraints pin a
+//! unique witness, and the accumulated output bits are its image — the true
+//! minimum. Multi-interval [`RangeSet`]s take the min over intervals, with
+//! tiny intervals enumerated directly (cheaper than 32 feasibility rounds).
+
+use crate::range::RangeSet;
+
+/// Intervals at most this wide are enumerated instead of running the greedy
+/// descent: enumeration costs ~1 permute per value (≈32 ops via
+/// [`RangeAwareBitPerm::permute`]) while the descent costs ~32×32 ops
+/// regardless of width, so the crossover sits near 32 values.
+pub const ENUMERATE_WIDTH_MAX: u64 = 32;
+
+/// Smallest `x ≥ lo` with `x & mask == forced`, or `None` if every such `x`
+/// overflows 32 bits.
+///
+/// `forced` must be a subset of `mask` (`forced & !mask == 0`). `O(32)`.
+///
+/// The search keeps `x` bit-equal to `lo` from the top down ("tight") for
+/// as long as the constraints allow; at the first constrained bit that
+/// disagrees with `lo` it either diverges upward immediately (forced 1 over
+/// a 0 in `lo` — everything below can then be minimal) or must *bump*: set
+/// the lowest unconstrained bit above the disagreement where `lo` has a 0,
+/// which is the smallest way to exceed `lo`'s prefix.
+pub fn min_matching_ge(lo: u32, mask: u32, forced: u32) -> Option<u32> {
+    debug_assert_eq!(forced & !mask, 0, "forced bits outside mask");
+    let mut x = 0u32;
+    for i in (0..32).rev() {
+        let b = 1u32 << i;
+        let lo_bit = lo & b;
+        if mask & b != 0 {
+            let f_bit = forced & b;
+            if f_bit == lo_bit {
+                x |= f_bit;
+                continue; // still tight
+            }
+            if f_bit > lo_bit {
+                // Prefix now exceeds lo: finish minimally (free bits 0).
+                return Some(x | f_bit | (forced & (b - 1)));
+            }
+            // Constrained to 0 where lo has 1: the tight path is dead.
+            // Bump the lowest free zero-bit of lo above position i; bits in
+            // the tight prefix that are constrained already equal lo there,
+            // so only free bits are candidates.
+            for j in (i + 1)..32 {
+                let bj = 1u32 << j;
+                if mask & bj == 0 && lo & bj == 0 {
+                    let above = !(((bj as u64) << 1).wrapping_sub(1) as u32);
+                    return Some((lo & above) | bj | (forced & (bj - 1)));
+                }
+            }
+            return None;
+        }
+        // Free bit: follow lo to stay tight (the minimal choice).
+        x |= lo_bit;
+    }
+    Some(x) // fully tight: x == lo and lo matches the constraints
+}
+
+/// A bit-position permutation of 32-bit values compiled for range-aware
+/// min-hash evaluation.
+///
+/// Stores the image of each input unit bit plus the inverse map (which
+/// input bit feeds each output bit). Construction costs 32 evaluations of
+/// the source permutation; after that every interval min-hash is `O(32²)`
+/// independent of interval width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeAwareBitPerm {
+    /// `bit_image[i]` = permutation image of `1 << i` (a single bit).
+    bit_image: [u32; 32],
+    /// `out_src[j]` = input bit position feeding output bit `j`.
+    out_src: [u8; 32],
+}
+
+impl RangeAwareBitPerm {
+    /// Compile from a closure that must be a bit-position permutation:
+    /// `f(x ^ y) == f(x) ^ f(y)` and unit bits map to unit bits (true for
+    /// any GRP network). Checked like [`crate::grp::BitPerm::compile`].
+    ///
+    /// # Panics
+    /// Panics if `f` is not a bit-position permutation.
+    pub fn compile(f: impl Fn(u32) -> u32) -> RangeAwareBitPerm {
+        let mut bit_image = [0u32; 32];
+        let mut out_src = [0u8; 32];
+        let mut seen: u32 = 0;
+        for (i, image) in bit_image.iter_mut().enumerate() {
+            let y = f(1u32 << i);
+            assert_eq!(y.count_ones(), 1, "f does not permute bit positions");
+            assert_eq!(seen & y, 0, "f maps two bits to the same position");
+            seen |= y;
+            *image = y;
+            out_src[y.trailing_zeros() as usize] = i as u8;
+        }
+        RangeAwareBitPerm { bit_image, out_src }
+    }
+
+    /// Apply the permutation (bitwise OR of set-bit images).
+    #[inline]
+    pub fn permute(&self, x: u32) -> u32 {
+        let mut v = x;
+        let mut out = 0;
+        while v != 0 {
+            out |= self.bit_image[v.trailing_zeros() as usize];
+            v &= v - 1;
+        }
+        out
+    }
+
+    /// Exact `min { π(x) : x ∈ [lo, hi] }` by greedy MSB-first descent,
+    /// `O(32²)` regardless of `hi - lo`.
+    pub fn min_interval(&self, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        let mut mask = 0u32; // input bits already decided
+        let mut forced = 0u32; // their values
+        let mut out = 0u32;
+        for j in (0..32).rev() {
+            let b = 1u32 << self.out_src[j];
+            // Try output bit j = 0, i.e. input bit `b` = 0.
+            match min_matching_ge(lo, mask | b, forced) {
+                Some(x) if x <= hi => {}
+                // 0 is infeasible; some x in range matches the constraints
+                // so far (loop invariant), hence bit `b` = 1 is feasible.
+                _ => {
+                    forced |= b;
+                    out |= 1 << j;
+                }
+            }
+            mask |= b;
+        }
+        debug_assert!((lo..=hi).contains(&forced));
+        debug_assert_eq!(self.permute(forced), out);
+        out
+    }
+
+    /// Min-hash of a range set: the minimum over its intervals, enumerating
+    /// intervals narrower than [`ENUMERATE_WIDTH_MAX`] and running the
+    /// greedy descent on the rest.
+    ///
+    /// # Panics
+    /// Panics if `q` is empty.
+    pub fn min_hash(&self, q: &RangeSet) -> u32 {
+        assert!(!q.is_empty(), "min-hash of an empty range set");
+        q.intervals()
+            .iter()
+            .map(|&(lo, hi)| {
+                if ((hi - lo) as u64) < ENUMERATE_WIDTH_MAX {
+                    (lo..=hi).map(|v| self.permute(v)).min().unwrap()
+                } else {
+                    self.min_interval(lo, hi)
+                }
+            })
+            .min()
+            .unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::ApproxMinWisePerm;
+    use crate::minwise::MinWisePerm;
+    use ars_common::DetRng;
+    use proptest::prelude::*;
+
+    fn full(seed: u64) -> RangeAwareBitPerm {
+        let mut rng = DetRng::new(seed);
+        let p = MinWisePerm::random(&mut rng);
+        RangeAwareBitPerm::compile(|x| p.permute(x))
+    }
+
+    #[test]
+    fn min_matching_ge_exhaustive_8bit() {
+        // Compare against brute force over an 8-bit slice of the domain.
+        for mask in [0u32, 0b1010_1010, 0b0000_1111, 0xFF] {
+            for forced_bits in 0u32..=0xFF {
+                let forced = forced_bits & mask;
+                for lo in (0u32..=0xFF).step_by(7) {
+                    // With mask ⊆ 0xFF, a match above the 8-bit space always
+                    // exists; the smallest is 0x100 | forced.
+                    let brute = (lo..=0xFF)
+                        .find(|x| x & mask == forced)
+                        .unwrap_or(0x100 | forced);
+                    assert_eq!(
+                        min_matching_ge(lo, mask, forced),
+                        Some(brute),
+                        "lo={lo:#b} mask={mask:#b} forced={forced:#b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_matching_ge_high_bits() {
+        // Constraint forcing the top bit to 0 with lo in the top half: no
+        // solution.
+        assert_eq!(min_matching_ge(1 << 31, 1 << 31, 0), None);
+        // Forcing it to 1 from anywhere: the bottom of the top half.
+        assert_eq!(min_matching_ge(5, 1 << 31, 1 << 31), Some(1 << 31));
+        // Unconstrained: identity.
+        assert_eq!(min_matching_ge(12345, 0, 0), Some(12345));
+        // Everything constrained below lo: None.
+        assert_eq!(min_matching_ge(u32::MAX, u32::MAX, 0), None);
+        assert_eq!(
+            min_matching_ge(u32::MAX, u32::MAX, u32::MAX),
+            Some(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn min_interval_matches_enumeration_small() {
+        let p = full(1);
+        for (lo, hi) in [(0u32, 0u32), (0, 255), (100, 612), (4090, 4100)] {
+            let brute = (lo..=hi).map(|v| p.permute(v)).min().unwrap();
+            assert_eq!(p.min_interval(lo, hi), brute, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn min_interval_wide_intervals() {
+        // Widths far beyond anything enumerable still return the exact min:
+        // checked against the enumeration of an equivalent small problem by
+        // noting min over [0, 2^k-1] of a bit permutation is 0.
+        let p = full(2);
+        assert_eq!(p.min_interval(0, u32::MAX), 0);
+        assert_eq!(p.min_interval(0, 1 << 20), 0);
+        // Single-point interval is just the permuted value.
+        assert_eq!(p.min_interval(777, 777), p.permute(777));
+    }
+
+    #[test]
+    fn approx_family_kernel_agrees() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..10 {
+            let a = ApproxMinWisePerm::random(&mut rng);
+            let k = RangeAwareBitPerm::compile(|x| a.permute(x));
+            for (lo, hi) in [(0u32, 1000u32), (30, 50), (65_000, 70_000)] {
+                let brute = (lo..=hi).map(|v| a.permute(v)).min().unwrap();
+                assert_eq!(k.min_interval(lo, hi), brute);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_interval_range_sets() {
+        let p = full(4);
+        let q = RangeSet::from_intervals([(10u32, 40u32), (1000, 3000), (50_000, 50_005)]);
+        let brute = q.iter().map(|v| p.permute(v)).min().unwrap();
+        assert_eq!(p.min_hash(&q), brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_range_set_panics() {
+        full(5).min_hash(&RangeSet::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "permute bit positions")]
+    fn non_bit_permutation_rejected() {
+        RangeAwareBitPerm::compile(|x| x.wrapping_add(1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn kernel_equals_enumeration(
+            seed in any::<u64>(),
+            lo in 0u32..100_000,
+            w in 0u32..5_000,
+        ) {
+            let p = full(seed);
+            let hi = lo + w;
+            let brute = (lo..=hi).map(|v| p.permute(v)).min().unwrap();
+            prop_assert_eq!(p.min_interval(lo, hi), brute);
+        }
+
+        #[test]
+        fn min_matching_ge_is_minimal_and_matching(
+            lo in any::<u32>(), mask in any::<u32>(), raw in any::<u32>(),
+        ) {
+            let forced = raw & mask;
+            if let Some(x) = min_matching_ge(lo, mask, forced) {
+                prop_assert!(x >= lo);
+                prop_assert_eq!(x & mask, forced);
+                // Minimality: nothing matching in [lo, x).
+                if x > lo {
+                    // Spot-check the value just below x and lo itself.
+                    prop_assert!(lo & mask != forced);
+                    prop_assert!((x - 1) < lo || (x - 1) & mask != forced);
+                }
+            } else {
+                // No match anywhere ≥ lo: in particular not at lo or MAX.
+                prop_assert!(lo & mask != forced);
+                prop_assert!(mask != forced); // x = u32::MAX gives x & mask == mask
+            }
+        }
+    }
+}

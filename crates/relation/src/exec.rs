@@ -462,8 +462,14 @@ mod tests {
         // Two left tuples with the same key joining two right tuples with
         // that key must produce 4 output rows.
         use crate::value::ValueType;
-        let s1 = Arc::new(Schema::new("L", vec![("k", ValueType::Int), ("a", ValueType::Int)]));
-        let s2 = Arc::new(Schema::new("R", vec![("k", ValueType::Int), ("b", ValueType::Int)]));
+        let s1 = Arc::new(Schema::new(
+            "L",
+            vec![("k", ValueType::Int), ("a", ValueType::Int)],
+        ));
+        let s2 = Arc::new(Schema::new(
+            "R",
+            vec![("k", ValueType::Int), ("b", ValueType::Int)],
+        ));
         let mut tables = BaseTables::new();
         tables.register(Relation::new(
             s1,

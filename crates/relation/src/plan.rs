@@ -146,7 +146,9 @@ impl fmt::Display for PlanError {
             PlanError::OrderedOpOnString(a) => {
                 write!(f, "range comparison on string attribute {a}")
             }
-            PlanError::DisconnectedJoin => write!(f, "join conditions do not connect all relations"),
+            PlanError::DisconnectedJoin => {
+                write!(f, "join conditions do not connect all relations")
+            }
         }
     }
 }
@@ -226,11 +228,14 @@ impl Planner {
                         }
                         (_, ValueType::Str) => return Err(PlanError::OrderedOpOnString(a)),
                         (op, _) => {
-                            let v = literal_ordinal(lit, ty)
-                                .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
-                            let b = bounds
-                                .entry((rel, a.clone()))
-                                .or_insert(Bounds { lo: 0, hi: u32::MAX });
+                            let v = literal_ordinal(lit, ty).ok_or(PlanError::TypeMismatch {
+                                attr: a.clone(),
+                                expected: ty,
+                            })?;
+                            let b = bounds.entry((rel, a.clone())).or_insert(Bounds {
+                                lo: 0,
+                                hi: u32::MAX,
+                            });
                             apply_bound(b, op, v, &a)?;
                         }
                     }
@@ -249,13 +254,18 @@ impl Planner {
                     if ty == ValueType::Str {
                         return Err(PlanError::OrderedOpOnString(a));
                     }
-                    let lo_v = literal_ordinal(lo, ty)
-                        .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
-                    let hi_v = literal_ordinal(hi, ty)
-                        .ok_or(PlanError::TypeMismatch { attr: a.clone(), expected: ty })?;
-                    let b = bounds
-                        .entry((rel, a.clone()))
-                        .or_insert(Bounds { lo: 0, hi: u32::MAX });
+                    let lo_v = literal_ordinal(lo, ty).ok_or(PlanError::TypeMismatch {
+                        attr: a.clone(),
+                        expected: ty,
+                    })?;
+                    let hi_v = literal_ordinal(hi, ty).ok_or(PlanError::TypeMismatch {
+                        attr: a.clone(),
+                        expected: ty,
+                    })?;
+                    let b = bounds.entry((rel, a.clone())).or_insert(Bounds {
+                        lo: 0,
+                        hi: u32::MAX,
+                    });
                     apply_bound(
                         b,
                         if *lo_inclusive { CmpOp::Ge } else { CmpOp::Gt },
@@ -278,14 +288,11 @@ impl Planner {
             if b.lo > b.hi {
                 return Err(PlanError::EmptyRange(attr));
             }
-            rel_preds
-                .entry(rel)
-                .or_default()
-                .push(Predicate::Range {
-                    attr,
-                    lo: b.lo,
-                    hi: b.hi,
-                });
+            rel_preds.entry(rel).or_default().push(Predicate::Range {
+                attr,
+                lo: b.lo,
+                hi: b.hi,
+            });
         }
         for (rel, p) in eq_preds {
             rel_preds.entry(rel).or_default().push(p);
@@ -351,11 +358,7 @@ impl Planner {
     }
 
     /// Resolve an attribute reference to `(relation, attribute)`.
-    fn resolve(
-        &self,
-        attr: &AttrRef,
-        relations: &[String],
-    ) -> Result<(String, String), PlanError> {
+    fn resolve(&self, attr: &AttrRef, relations: &[String]) -> Result<(String, String), PlanError> {
         match attr {
             AttrRef::Qualified(rel, a) => {
                 let schema = self
@@ -491,18 +494,14 @@ mod tests {
         let q = parse_query("SELECT * FROM Patient WHERE 30 < age < 50").unwrap();
         let plan = planner.plan(&q).unwrap();
         // Exclusive bounds narrow by one on each side.
-        assert_eq!(
-            plan.leaves()[0].1,
-            &[Predicate::range("age", 31, 49)]
-        );
+        assert_eq!(plan.leaves()[0].1, &[Predicate::range("age", 31, 49)]);
     }
 
     #[test]
     fn merges_multiple_bounds_on_one_attribute() {
         let planner = medical_planner();
-        let q =
-            parse_query("SELECT * FROM Patient WHERE age >= 30 AND age <= 50 AND age <= 45")
-                .unwrap();
+        let q = parse_query("SELECT * FROM Patient WHERE age >= 30 AND age <= 50 AND age <= 45")
+            .unwrap();
         let plan = planner.plan(&q).unwrap();
         assert_eq!(plan.leaves()[0].1, &[Predicate::range("age", 30, 45)]);
     }
@@ -571,6 +570,9 @@ mod tests {
     fn type_mismatch_rejected() {
         let planner = medical_planner();
         let q = parse_query("SELECT * FROM Patient WHERE age = 'thirty'").unwrap();
-        assert!(matches!(planner.plan(&q), Err(PlanError::TypeMismatch { .. })));
+        assert!(matches!(
+            planner.plan(&q),
+            Err(PlanError::TypeMismatch { .. })
+        ));
     }
 }

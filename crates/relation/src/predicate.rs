@@ -121,8 +121,18 @@ mod tests {
     fn eq_matches_strings() {
         let s = medical::diagnosis();
         let p = Predicate::eq("diagnosis", "Glaucoma");
-        let hit = vec![Value::Int(1), "Glaucoma".into(), Value::Int(9), Value::Int(7)];
-        let miss = vec![Value::Int(2), "Cataract".into(), Value::Int(9), Value::Int(8)];
+        let hit = vec![
+            Value::Int(1),
+            "Glaucoma".into(),
+            Value::Int(9),
+            Value::Int(7),
+        ];
+        let miss = vec![
+            Value::Int(2),
+            "Cataract".into(),
+            Value::Int(9),
+            Value::Int(8),
+        ];
         assert!(p.matches(&s, &hit));
         assert!(!p.matches(&s, &miss));
     }

@@ -107,10 +107,7 @@ impl Schema {
             } else {
                 a.name.clone()
             };
-            attributes.push(Attribute {
-                name,
-                ty: a.ty,
-            });
+            attributes.push(Attribute { name, ty: a.ty });
         }
         Schema {
             name: format!("{}⋈{}", self.name, other.name),
@@ -329,10 +326,7 @@ mod tests {
     #[should_panic(expected = "expects")]
     fn wrong_type_rejected() {
         let s = medical::patient();
-        Relation::new(
-            s,
-            vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]],
-        );
+        Relation::new(s, vec![vec![Value::Int(1), Value::Int(2), Value::Int(3)]]);
     }
 
     #[test]

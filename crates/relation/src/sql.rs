@@ -299,7 +299,10 @@ impl<'a> Tokenizer<'a> {
             (third, first, second)
         };
         if !(1..=12).contains(&m) || !(1..=31).contains(&d) || y < 1900 {
-            return err(format!("invalid date literal {first}-{second}-{third}"), Some(start));
+            return err(
+                format!("invalid date literal {first}-{second}-{third}"),
+                Some(start),
+            );
         }
         Ok(Token::Date(y, m, d))
     }
@@ -359,7 +362,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => err(format!("expected identifier, found {other:?}"), self.peek_pos()),
+            other => err(
+                format!("expected identifier, found {other:?}"),
+                self.peek_pos(),
+            ),
         }
     }
 
@@ -379,7 +385,10 @@ impl Parser {
             Some(Token::Int(v)) => Ok(Literal::Int(v)),
             Some(Token::Str(s)) => Ok(Literal::Str(s)),
             Some(Token::Date(y, m, d)) => Ok(Literal::Date(y, m, d)),
-            other => err(format!("expected literal, found {other:?}"), self.peek_pos()),
+            other => err(
+                format!("expected literal, found {other:?}"),
+                self.peek_pos(),
+            ),
         }
     }
 
@@ -390,7 +399,10 @@ impl Parser {
             Some(Token::Le) => Ok(CmpOp::Le),
             Some(Token::Gt) => Ok(CmpOp::Gt),
             Some(Token::Ge) => Ok(CmpOp::Ge),
-            other => err(format!("expected comparison, found {other:?}"), self.peek_pos()),
+            other => err(
+                format!("expected comparison, found {other:?}"),
+                self.peek_pos(),
+            ),
         }
     }
 

@@ -171,11 +171,7 @@ impl<M, L: LatencyModel> SimNet<M, L> {
     /// Deliver a single message; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Delivery {
-            at,
-            from,
-            to,
-            msg,
-            ..
+            at, from, to, msg, ..
         }) = self.queue.pop()
         else {
             return false;

@@ -149,8 +149,14 @@ mod tests {
 
     #[test]
     fn uniform_trace_deterministic() {
-        assert_eq!(uniform_trace(100, 0, 1000, 7), uniform_trace(100, 0, 1000, 7));
-        assert_ne!(uniform_trace(100, 0, 1000, 7), uniform_trace(100, 0, 1000, 8));
+        assert_eq!(
+            uniform_trace(100, 0, 1000, 7),
+            uniform_trace(100, 0, 1000, 7)
+        );
+        assert_ne!(
+            uniform_trace(100, 0, 1000, 7),
+            uniform_trace(100, 0, 1000, 8)
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ fn main() {
         net.stabilize_all(32);
     }
     let rounds = net.stabilize_until_consistent(64).expect("converges");
-    println!("grew to {} peers (converged in {rounds} extra rounds)", net.len());
+    println!(
+        "grew to {} peers (converged in {rounds} extra rounds)",
+        net.len()
+    );
 
     let (correct, failed) = lookup_accuracy(&net, &mut rng, 300);
     println!("healthy ring: {correct}/300 lookups correct, {failed} failed");

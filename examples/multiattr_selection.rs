@@ -34,10 +34,16 @@ fn main() {
     // aged 30–50 with prescriptions dated 2000-01-01 … 2002-12-31.
     let q = conjunction((30, 50), ((2000, 1, 1), (2002, 12, 31)));
     println!("query: {q}");
-    println!("  product-set cardinality: {} (21 ages × 1096 days)", q.len());
+    println!(
+        "  product-set cardinality: {} (21 ages × 1096 days)",
+        q.len()
+    );
 
     let miss = net.query(&q);
-    println!("  first ask: match = {:?} (cached)", miss.best_match.is_some());
+    println!(
+        "  first ask: match = {:?} (cached)",
+        miss.best_match.is_some()
+    );
 
     // A similar conjunction: slightly different on *both* attributes.
     let near = conjunction((30, 49), ((2000, 1, 1), (2002, 12, 30)));
@@ -64,5 +70,8 @@ fn main() {
 
     let exact = net.query(&q);
     assert!(exact.exact);
-    println!("\nre-asking the original: exact hit (recall {})", exact.recall);
+    println!(
+        "\nre-asking the original: exact hit (recall {})",
+        exact.recall
+    );
 }

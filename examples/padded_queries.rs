@@ -21,10 +21,7 @@ fn run(label: &str, config: SystemConfig) -> (String, Vec<QueryOutcome>) {
 
 fn main() {
     let configs = [
-        run(
-            "jaccard matching",
-            SystemConfig::default().with_seed(SEED),
-        ),
+        run("jaccard matching", SystemConfig::default().with_seed(SEED)),
         run(
             "containment matching",
             SystemConfig::default()

@@ -18,7 +18,10 @@ fn main() {
     // identifier-owning peers.
     let q1 = RangeSet::interval(30, 50);
     let miss = net.query(&q1);
-    println!("query {q1}: match = {:?} (cached for later)", miss.best_match);
+    println!(
+        "query {q1}: match = {:?} (cached for later)",
+        miss.best_match
+    );
 
     // A *similar* query — ages 30–49, Jaccard similarity ≈ 0.95 — now
     // locates the cached partition with high probability, even though it

@@ -17,7 +17,8 @@ fn grown(n: usize, seed: u64) -> DynamicNetwork {
         net.join(id, first).expect("join during growth");
         net.stabilize_all(32);
     }
-    net.stabilize_until_consistent(64).expect("growth converges");
+    net.stabilize_until_consistent(64)
+        .expect("growth converges");
     net
 }
 
@@ -81,7 +82,8 @@ fn interleaved_joins_and_failures_stay_correct() {
         }
         net.stabilize_all(8);
     }
-    net.stabilize_until_consistent(128).expect("final convergence");
+    net.stabilize_until_consistent(128)
+        .expect("final convergence");
     let ids = net.node_ids();
     let mut rng2 = DetRng::new(7);
     for _ in 0..100 {

@@ -74,7 +74,7 @@ fn pinned_identifier_vector_for_the_default_config() {
     let mut net = RangeSelectNetwork::new(10, SystemConfig::default());
     let out = net.query(&RangeSet::interval(30, 50));
     assert_eq!(out.identifiers.len(), 5);
-    let again = RangeSelectNetwork::new(10, SystemConfig::default())
-        .query(&RangeSet::interval(30, 50));
+    let again =
+        RangeSelectNetwork::new(10, SystemConfig::default()).query(&RangeSet::interval(30, 50));
     assert_eq!(out.identifiers, again.identifiers);
 }

@@ -36,11 +36,9 @@ fn containment_matching_beats_jaccard_matching() {
     // Fig. 9: switching the bucket's best-match measure from Jaccard to
     // containment roughly doubles the fully-answered fraction.
     let jaccard = run(SystemConfig::default().with_seed(SEED));
-    let containment = run(
-        SystemConfig::default()
-            .with_matching(MatchMeasure::Containment)
-            .with_seed(SEED),
-    );
+    let containment = run(SystemConfig::default()
+        .with_matching(MatchMeasure::Containment)
+        .with_seed(SEED));
     let pj = pct_fully_answered(&jaccard);
     let pc = pct_fully_answered(&containment);
     assert!(
@@ -53,23 +51,16 @@ fn containment_matching_beats_jaccard_matching() {
 fn padding_increases_complete_answers() {
     // Fig. 10: 20% padding lifts the fully-answered fraction further
     // (paper: ≈60% → ≈70% with containment matching).
-    let base = run(
-        SystemConfig::default()
-            .with_matching(MatchMeasure::Containment)
-            .with_seed(SEED),
-    );
-    let padded = run(
-        SystemConfig::default()
-            .with_matching(MatchMeasure::Containment)
-            .with_padding(0.2)
-            .with_seed(SEED),
-    );
+    let base = run(SystemConfig::default()
+        .with_matching(MatchMeasure::Containment)
+        .with_seed(SEED));
+    let padded = run(SystemConfig::default()
+        .with_matching(MatchMeasure::Containment)
+        .with_padding(0.2)
+        .with_seed(SEED));
     let pb = pct_fully_answered(&base);
     let pp = pct_fully_answered(&padded);
-    assert!(
-        pp > pb,
-        "padded ({pp:.1}%) should beat unpadded ({pb:.1}%)"
-    );
+    assert!(pp > pb, "padded ({pp:.1}%) should beat unpadded ({pb:.1}%)");
 }
 
 #[test]
@@ -116,7 +107,9 @@ fn local_index_never_hurts_recall() {
     let mut plain = RangeSelectNetwork::new(50, SystemConfig::default().with_seed(SEED));
     let mut indexed = RangeSelectNetwork::new(
         50,
-        SystemConfig::default().with_local_index(true).with_seed(SEED),
+        SystemConfig::default()
+            .with_local_index(true)
+            .with_seed(SEED),
     );
     let outs_plain = plain.run_trace(trace.queries());
     let outs_indexed = indexed.run_trace(trace.queries());

@@ -1,6 +1,7 @@
 //! Cross-crate property tests: invariants that tie the layers together,
 //! each checked against a brute-force oracle.
 
+use ars::lsh::LshFunction;
 use ars::prelude::*;
 use ars::relation::exec::BaseTables;
 use ars::relation::schema::medical;
@@ -126,5 +127,74 @@ proptest! {
             .map(|&from| ring.lookup(from, Id(key)).0.0)
             .collect();
         prop_assert_eq!(owners.len(), 1);
+    }
+
+    /// The fast min-hash path (range-aware greedy descent for the bit
+    /// families, closed form for linear) is bit-for-bit equal to full
+    /// enumeration for every paper family, over arbitrary multi-interval
+    /// range sets — both uncompiled and compiled.
+    #[test]
+    fn fast_min_hash_equals_enumeration(
+        (q, _) in range_set_strategy(),
+        wide_lo in 0u32..100_000,
+        wide_w in 1_000u32..20_000,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(!q.is_empty());
+        // Mix in a wide interval so the greedy-descent path (not just the
+        // small-set enumeration shortcut) is exercised.
+        let wide = q.union(&RangeSet::interval(wide_lo, wide_lo + wide_w));
+        let mut rng = DetRng::new(seed);
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let f = LshFunction::random(kind, &mut rng);
+            let compiled = f.compile();
+            for set in [&q, &wide] {
+                let oracle = f.min_hash_enumerate(set);
+                prop_assert_eq!(f.min_hash(set), oracle, "{} on {}", kind, set);
+                prop_assert_eq!(compiled.min_hash(set), oracle, "compiled {} on {}", kind, set);
+            }
+        }
+    }
+
+    /// Group identifiers through the fast paths equal the enumeration
+    /// reference for every paper family.
+    #[test]
+    fn group_identifiers_equal_enumeration_reference(
+        (q, _) in range_set_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(!q.is_empty());
+        let mut rng = DetRng::new(seed);
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let groups = HashGroups::generate(kind, 4, 3, &mut rng);
+            prop_assert_eq!(groups.identifiers(&q), groups.identifiers_reference(&q));
+        }
+    }
+}
+
+/// The seeds `tests/determinism.rs` pins: hash groups drawn from them must
+/// produce identifiers unchanged by the range-aware evaluation (the oracle
+/// enumerates every value, as the seed revision did).
+#[test]
+fn pinned_seed_identifiers_unchanged_by_fast_path() {
+    for (seed, kinds) in [
+        (3u64, LshFamilyKind::PAPER_FAMILIES.as_slice()),
+        (4, LshFamilyKind::PAPER_FAMILIES.as_slice()),
+    ] {
+        for &kind in kinds {
+            let mut rng = DetRng::new(seed);
+            let groups = HashGroups::generate(kind, 20, 5, &mut rng);
+            for q in [
+                RangeSet::interval(30, 50),
+                RangeSet::interval(0, 10_000),
+                RangeSet::from_intervals([(5u32, 80u32), (1_000, 12_000)]),
+            ] {
+                assert_eq!(
+                    groups.identifiers(&q),
+                    groups.identifiers_reference(&q),
+                    "seed {seed} kind {kind} range {q}"
+                );
+            }
+        }
     }
 }

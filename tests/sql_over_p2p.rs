@@ -72,11 +72,7 @@ fn medical_planner() -> Planner {
 }
 
 fn sorted_strings(rel: &Relation) -> Vec<String> {
-    let mut v: Vec<String> = rel
-        .tuples()
-        .iter()
-        .map(|t| format!("{}", t[0]))
-        .collect();
+    let mut v: Vec<String> = rel.tuples().iter().map(|t| format!("{}", t[0])).collect();
     v.sort();
     v
 }
@@ -156,8 +152,7 @@ fn select_star_and_projection_agree_between_paths() {
         let plan = planner.plan(&parse_query(sql).unwrap()).unwrap();
         let mut direct_tables = medical_sources();
         let direct = execute(&plan, &mut direct_tables).unwrap();
-        let mut p2p =
-            DataNetwork::new(40, SystemConfig::default().with_seed(5), medical_sources());
+        let mut p2p = DataNetwork::new(40, SystemConfig::default().with_seed(5), medical_sources());
         let via = execute(&plan, &mut p2p).unwrap();
         assert_eq!(via.len(), direct.len(), "row count diverged for {sql}");
         assert_eq!(

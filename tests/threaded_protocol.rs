@@ -24,8 +24,7 @@ fn threaded_equals_direct() {
 
 #[test]
 fn threaded_handles_interleaved_exact_hits() {
-    let mut threaded =
-        ThreadedProtoNetwork::spawn(8, SystemConfig::default().with_seed(99));
+    let mut threaded = ThreadedProtoNetwork::spawn(8, SystemConfig::default().with_seed(99));
     let q = RangeSet::interval(100, 300);
     let first = threaded.query(&q);
     assert!(!first.exact);
