@@ -1,0 +1,197 @@
+//! Fault-tolerance benchmark: recall and routed-hop cost under churn ×
+//! message loss, with successor replication on and off, written to
+//! `BENCH_faults.json` at the repo root.
+//!
+//! Each cell of the matrix grows a fresh [`ChurnNetwork`], warms the cache
+//! with a query trace through the resilient path, crashes a fraction of
+//! the peers abruptly (`churn`), turns on per-attempt lookup loss
+//! (`loss`), and re-runs the trace, measuring:
+//!
+//! * `recall` — mean recall of the re-queries (1.0 = every cached
+//!   partition still findable);
+//! * `mean_hops` — routed overlay hops per successful lookup (the cost of
+//!   routing around failures);
+//! * `attempts_per_query` — lookup attempts including retries;
+//! * `fallback_rate` — fraction of queries degraded to source fetch.
+//!
+//! The runs use a single hash group (`l = 1`) so each partition exists at
+//! exactly one identifier: with `r = 1` a crashed owner *loses* the bucket
+//! (the paper's soft-state behavior), with `r = 2` the successor replica
+//! keeps it findable — the paper's `l = 5` default would mask the contrast
+//! behind its five natural copies.
+//!
+//! The seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep seeds.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_faults`
+
+use ars_core::{ChurnNetwork, MatchMeasure, SystemConfig};
+use ars_lsh::RangeSet;
+
+const N_PEERS: usize = 50;
+const N_QUERIES: usize = 80;
+const CHURN_RATES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
+const LOSS_RATES: [f64; 3] = [0.0, 0.10, 0.30];
+const REPLICATION: [usize; 2] = [1, 2];
+
+struct Cell {
+    churn: f64,
+    loss: f64,
+    replication: usize,
+    recall: f64,
+    mean_hops: f64,
+    attempts_per_query: f64,
+    fallback_rate: f64,
+    partitions_after: usize,
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Distinct, well-spread query ranges (no repeats, so the measurement
+/// phase scores only what the warm phase cached).
+fn trace() -> Vec<RangeSet> {
+    (0..N_QUERIES as u32)
+        .map(|i| {
+            let lo = i * 523 % 40_000;
+            RangeSet::interval(lo, lo + 60 + (i % 5) * 25)
+        })
+        .collect()
+}
+
+fn run_cell(churn: f64, loss: f64, replication: usize, seed: u64) -> Cell {
+    let config = SystemConfig::default()
+        .with_kl(16, 1)
+        .with_matching(MatchMeasure::Containment)
+        .with_replication(replication)
+        .with_seed(0xFA17 ^ seed);
+    let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
+    let queries = trace();
+
+    // Warm: cache every partition (and its replicas) on a clean network.
+    for q in &queries {
+        net.query_resilient(q);
+    }
+
+    // Churn: abrupt failures, then stabilization (re-replication already
+    // ran per-failure when replication > 1).
+    let victims = (churn * N_PEERS as f64).round() as usize;
+    net.fail_random(victims);
+    net.stabilize(256).expect("ring recovers");
+
+    // Loss applies to the measurement phase only, so the warm cache is
+    // identical across the loss dimension.
+    net.set_lookup_loss(loss);
+
+    let mut recall_sum = 0.0;
+    let mut hops_sum = 0usize;
+    let mut lookups = 0usize;
+    let mut attempts = 0usize;
+    let mut fallbacks = 0usize;
+    for q in &queries {
+        let out = net.query_resilient(q);
+        recall_sum += out.recall;
+        hops_sum += out.hops.iter().sum::<usize>();
+        lookups += out.hops.len();
+        attempts += out.attempts;
+        fallbacks += out.fell_back_to_source as usize;
+    }
+
+    Cell {
+        churn,
+        loss,
+        replication,
+        recall: recall_sum / N_QUERIES as f64,
+        mean_hops: hops_sum as f64 / lookups.max(1) as f64,
+        attempts_per_query: attempts as f64 / N_QUERIES as f64,
+        fallback_rate: fallbacks as f64 / N_QUERIES as f64,
+        partitions_after: net.total_partitions(),
+    }
+}
+
+fn main() {
+    let seed = fault_seed();
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("# seed {seed} ({N_PEERS} peers, {N_QUERIES} queries, k=16 l=1)");
+    println!(
+        "{:>6} {:>6} {:>4} {:>8} {:>10} {:>10} {:>10} {:>11}",
+        "churn", "loss", "r", "recall", "mean_hops", "attempts", "fallback", "partitions"
+    );
+    for &replication in &REPLICATION {
+        for &churn in &CHURN_RATES {
+            for &loss in &LOSS_RATES {
+                let c = run_cell(churn, loss, replication, seed);
+                println!(
+                    "{:>6.2} {:>6.2} {:>4} {:>8.3} {:>10.2} {:>10.2} {:>10.3} {:>11}",
+                    c.churn,
+                    c.loss,
+                    c.replication,
+                    c.recall,
+                    c.mean_hops,
+                    c.attempts_per_query,
+                    c.fallback_rate,
+                    c.partitions_after
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    // Headline checks (the integration test asserts the same properties).
+    let cell = |churn: f64, loss: f64, r: usize| {
+        cells
+            .iter()
+            .find(|c| c.churn == churn && c.loss == loss && c.replication == r)
+            .expect("cell present")
+    };
+    let base_r2 = cell(0.0, 0.0, 2).recall;
+    let faulted_r2 = cell(0.10, 0.0, 2).recall;
+    let base_r1 = cell(0.0, 0.0, 1).recall;
+    let faulted_r1 = cell(0.10, 0.0, 1).recall;
+    println!(
+        "\nr=2: no-churn recall {base_r2:.3}, 10% failures {faulted_r2:.3} \
+         | r=1: {base_r1:.3} -> {faulted_r1:.3}"
+    );
+    assert!(
+        faulted_r2 >= base_r2 - 0.05,
+        "replicated recall {faulted_r2:.3} fell more than 5% below baseline {base_r2:.3}"
+    );
+    assert!(
+        faulted_r1 < faulted_r2,
+        "unreplicated recall {faulted_r1:.3} should trail replicated {faulted_r2:.3}"
+    );
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"fault_tolerance\",\n  \"seed\": {seed},\n  \
+         \"peers\": {N_PEERS},\n  \"queries\": {N_QUERIES},\n  \"cells\": [\n"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"churn\": {:.2}, \"loss\": {:.2}, \"replication\": {}, \
+             \"recall\": {:.4}, \"mean_hops\": {:.3}, \"attempts_per_query\": {:.3}, \
+             \"fallback_rate\": {:.4}, \"partitions_after\": {}}}{sep}\n",
+            c.churn,
+            c.loss,
+            c.replication,
+            c.recall,
+            c.mean_hops,
+            c.attempts_per_query,
+            c.fallback_rate,
+            c.partitions_after
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\n    \"recall_no_churn_r2\": {base_r2:.4},\n    \
+         \"recall_10pct_failures_r2\": {faulted_r2:.4},\n    \
+         \"recall_no_churn_r1\": {base_r1:.4},\n    \
+         \"recall_10pct_failures_r1\": {faulted_r1:.4}\n  }}\n}}\n"
+    ));
+
+    let path = ars_bench::experiments::repo_root().join("BENCH_faults.json");
+    std::fs::write(&path, json).expect("write BENCH_faults.json");
+    println!("wrote {}", path.display());
+}

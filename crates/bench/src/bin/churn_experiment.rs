@@ -23,7 +23,7 @@ fn main() {
     let config = SystemConfig::default()
         .with_matching(MatchMeasure::Containment)
         .with_seed(606);
-    let mut net = ChurnNetwork::new(N_PEERS, config);
+    let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
     // Clustered queries: high cache value, so damage is visible.
     let trace = clustered_trace(N_QUERIES, 0, 1000, 40, 6, 11);
 

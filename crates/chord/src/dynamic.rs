@@ -28,6 +28,12 @@ pub enum ChordError {
     },
     /// The last node cannot leave/fail (the network would be empty).
     LastNode,
+    /// Stabilization did not reach a consistent ring within the round
+    /// budget (returned by growth/recovery paths that require convergence).
+    NotConverged {
+        /// Rounds that were run before giving up.
+        rounds: usize,
+    },
 }
 
 impl std::fmt::Display for ChordError {
@@ -39,6 +45,9 @@ impl std::fmt::Display for ChordError {
                 write!(f, "routing failed from {from} for key {key}")
             }
             ChordError::LastNode => write!(f, "cannot remove the last node"),
+            ChordError::NotConverged { rounds } => {
+                write!(f, "ring not consistent after {rounds} stabilization rounds")
+            }
         }
     }
 }
@@ -124,6 +133,20 @@ impl DynamicNetwork {
             Some(&v) => Id(v),
             None => Id(*self.alive.iter().next().expect("network is empty")),
         }
+    }
+
+    /// Ground-truth first `count` alive nodes clockwise from `key` (the
+    /// owner followed by its successors). Fewer are returned when the
+    /// network is smaller than `count`. This is the replica placement used
+    /// by the application layer's successor replication.
+    pub fn true_successors(&self, key: Id, count: usize) -> Vec<Id> {
+        let n = count.min(self.alive.len());
+        self.alive
+            .range(key.0..)
+            .chain(self.alive.iter())
+            .take(n)
+            .map(|&v| Id(v))
+            .collect()
     }
 
     fn node(&self, id: Id) -> Result<&NodeState, ChordError> {
@@ -343,6 +366,92 @@ impl DynamicNetwork {
         }
     }
 
+    /// Failure-aware lookup: like [`Self::lookup`], but backtracks through
+    /// alternate pointers (the successor list as detour routes) instead of
+    /// failing when the greedy path dead-ends on stale state, under a total
+    /// budget of `hop_budget` forward moves.
+    ///
+    /// Greedy Chord forwarding fails mid-churn when a node's best pointer
+    /// leads into a cluster of failed nodes with no alive pointer past the
+    /// key. This variant treats routing as a depth-first search over alive
+    /// pointers — each node's candidates are tried closest-to-key first,
+    /// with the successor list appended as fallback detours — so a query
+    /// only fails when *no* alive path reaches an owner within the budget.
+    /// On a converged ring it follows exactly the greedy path and returns
+    /// the same owner and hop count as [`Self::lookup`].
+    pub fn lookup_resilient(
+        &self,
+        from: Id,
+        key: Id,
+        hop_budget: usize,
+    ) -> Result<(Id, usize), ChordError> {
+        self.node(from)?;
+        let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        // DFS stack: (candidates out of a node, index of the next to try).
+        let mut stack: Vec<(Vec<Id>, usize)> = Vec::new();
+        let mut current = from;
+        let mut hops = 0usize;
+        loop {
+            visited.insert(current.0);
+            // Terminal test: current's first live successor owns the key.
+            if let Ok(state) = self.node(current) {
+                if let Some(succ) = self.live_successor(state) {
+                    if succ == current || key.in_open_closed(current, succ) {
+                        return Ok((succ, hops + 1));
+                    }
+                }
+            }
+            stack.push((self.route_candidates(current, key), 0));
+            // Advance to the next unvisited candidate, backtracking through
+            // exhausted frames.
+            loop {
+                let Some((cands, idx)) = stack.last_mut() else {
+                    return Err(ChordError::RoutingFailed { from, key });
+                };
+                if let Some(&c) = cands.get(*idx) {
+                    *idx += 1;
+                    if visited.contains(&c.0) {
+                        continue;
+                    }
+                    if hops >= hop_budget {
+                        return Err(ChordError::RoutingFailed { from, key });
+                    }
+                    hops += 1;
+                    current = c;
+                    break;
+                }
+                stack.pop();
+            }
+        }
+    }
+
+    /// Alive next-hop candidates out of `current` toward `key`, best
+    /// first: pointers strictly preceding the key (they make progress),
+    /// ordered closest-to-key first, then the remaining alive
+    /// successor-list entries as detours around a gap of failed nodes.
+    fn route_candidates(&self, current: Id, key: Id) -> Vec<Id> {
+        let Ok(state) = self.node(current) else {
+            return Vec::new();
+        };
+        let mut preceding: Vec<Id> = state
+            .fingers
+            .iter()
+            .flatten()
+            .copied()
+            .chain(state.successors.iter().copied())
+            .filter(|&f| self.is_alive(f) && f.in_open(current, key))
+            .collect();
+        preceding.sort_by_key(|c| key.0.wrapping_sub(c.0));
+        preceding.dedup();
+        let mut out = preceding;
+        for &s in &state.successors {
+            if self.is_alive(s) && s != current && !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
     /// True when every node's first alive successor equals the ground-truth
     /// next node on the circle.
     pub fn is_ring_consistent(&self) -> bool {
@@ -510,5 +619,98 @@ mod tests {
             key: Id(2),
         };
         assert!(format!("{e}").contains("routing failed"));
+        let e = ChordError::NotConverged { rounds: 64 };
+        assert!(format!("{e}").contains("64"));
+    }
+
+    #[test]
+    fn true_successors_walk_the_circle() {
+        let net = grow_network(10, 3);
+        let ids = net.node_ids();
+        let key = Id(ids[4].0.wrapping_add(1));
+        let succs = net.true_successors(key, 3);
+        assert_eq!(succs.len(), 3);
+        assert_eq!(succs[0], net.true_owner(key));
+        // Consecutive on the circle.
+        for w in succs.windows(2) {
+            assert_eq!(net.true_owner(w[0].plus(1)), w[1]);
+        }
+        // Count is clamped to the network size, without duplicates.
+        let all = net.true_successors(key, 50);
+        assert_eq!(all.len(), 10);
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn resilient_agrees_with_greedy_on_converged_ring() {
+        let net = grow_network(40, 7);
+        let mut rng = DetRng::new(99);
+        let ids = net.node_ids();
+        for _ in 0..200 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let greedy = net.lookup(from, key).unwrap();
+            let resilient = net.lookup_resilient(from, key, 128).unwrap();
+            assert_eq!(greedy, resilient, "paths diverge on a clean ring");
+        }
+    }
+
+    #[test]
+    fn resilient_routes_around_mass_failure_before_stabilization() {
+        // Fail a third of the network and do NOT stabilize: greedy lookups
+        // hit dead pointers; the resilient lookup must still find every key
+        // whose alive owner is reachable, and must never panic.
+        let mut net = grow_network(30, 21);
+        let mut rng = DetRng::new(4);
+        for _ in 0..10 {
+            let ids = net.node_ids();
+            let victim = ids[rng.gen_index(ids.len())];
+            net.fail(victim).unwrap();
+        }
+        let ids = net.node_ids();
+        let mut greedy_fail = 0;
+        let mut resilient_fail = 0;
+        for _ in 0..300 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let greedy = net.lookup(from, key);
+            let resilient = net.lookup_resilient(from, key, 256);
+            greedy_fail += greedy.is_err() as usize;
+            resilient_fail += resilient.is_err() as usize;
+            // Wherever greedy succeeds, resilient must too.
+            if greedy.is_ok() {
+                assert!(resilient.is_ok(), "resilient failed where greedy worked");
+            }
+        }
+        assert!(
+            resilient_fail <= greedy_fail,
+            "backtracking lost lookups: {resilient_fail} > {greedy_fail}"
+        );
+    }
+
+    #[test]
+    fn resilient_respects_hop_budget() {
+        let net = grow_network(30, 5);
+        let ids = net.node_ids();
+        let err = net.lookup_resilient(ids[0], Id(ids[0].0.wrapping_sub(1)), 0);
+        // Budget 0 allows no forward move: only keys owned by the start's
+        // own successor resolve; the far key must fail gracefully.
+        match err {
+            Ok((_, hops)) => assert_eq!(hops, 1),
+            Err(ChordError::RoutingFailed { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn resilient_from_unknown_node_errors() {
+        let net = grow_network(5, 9);
+        assert!(matches!(
+            net.lookup_resilient(Id(0xDEAD_0000), Id(1), 32),
+            Err(ChordError::UnknownNode(_))
+        ));
     }
 }

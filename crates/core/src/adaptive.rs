@@ -162,6 +162,8 @@ mod tests {
             hops: vec![],
             identifiers: vec![],
             peers_contacted: 0,
+            attempts: 0,
+            fell_back_to_source: false,
         };
         for _ in 0..20 {
             c.observe(&miss);
@@ -184,6 +186,8 @@ mod tests {
             hops: vec![],
             identifiers: vec![],
             peers_contacted: 0,
+            attempts: 0,
+            fell_back_to_source: false,
         };
         // Drive up first.
         let miss = QueryOutcome {

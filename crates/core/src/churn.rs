@@ -11,11 +11,21 @@
 //! * an abrupt **fail** loses the peer's buckets — subsequent queries miss
 //!   and re-cache, which is exactly the paper's soft-state story (cached
 //!   partitions are rebuildable from the sources).
+//!
+//! With [`SystemConfig::with_replication`] set above 1, every cached
+//! partition additionally lives at the first `r` alive successors of its
+//! placed identifier, and [`ChurnNetwork::re_replicate`] restores that
+//! invariant after each membership change — so abrupt failures stop losing
+//! buckets. The companion [`ChurnNetwork::query_resilient`] path retries
+//! failed lookups with deterministic backoff
+//! ([`crate::resilient::RetryPolicy`]) and degrades to source fetch
+//! instead of erroring.
 
 use crate::bucket::Match;
 use crate::config::{Placement, SystemConfig};
 use crate::network::QueryOutcome;
 use crate::peer::Peer;
+use crate::resilient::{ResilienceStats, RetryPolicy};
 use ars_chord::dynamic::ChordError;
 use ars_chord::{DynamicNetwork, Id};
 use ars_common::{DetRng, FxHashMap};
@@ -28,16 +38,37 @@ pub struct ChurnNetwork {
     storage: FxHashMap<u32, Peer>,
     groups: HashGroups,
     rng: DetRng,
+    retry: RetryPolicy,
+    resilience: ResilienceStats,
+    /// Probability that any single lookup attempt is lost in flight
+    /// (request or reply dropped), exercising the retry path. 0 = clean.
+    lookup_loss: f64,
 }
 
 impl ChurnNetwork {
     /// Grow a network to `n_peers` through the join protocol (each join
     /// followed by stabilization, as a slow deployment would).
     ///
-    /// # Panics
-    /// Panics if the ring fails to converge while growing (cannot happen
-    /// without failures).
-    pub fn new(n_peers: usize, config: SystemConfig) -> ChurnNetwork {
+    /// Returns [`ChordError::NotConverged`] if the ring fails to reach a
+    /// consistent state while growing — impossible with the default
+    /// stabilization effort, but reachable through
+    /// [`Self::with_growth_rounds`].
+    pub fn new(n_peers: usize, config: SystemConfig) -> Result<ChurnNetwork, ChordError> {
+        Self::with_growth_rounds(n_peers, config, 32, 64)
+    }
+
+    /// Like [`Self::new`] but with explicit stabilization effort:
+    /// `per_join_rounds` rounds after each join and at most `final_rounds`
+    /// rounds of final convergence. Starving the protocol (e.g. zero
+    /// per-join rounds and too few final rounds for the ring size) makes
+    /// growth fail with [`ChordError::NotConverged`] instead of producing
+    /// a silently broken network.
+    pub fn with_growth_rounds(
+        n_peers: usize,
+        config: SystemConfig,
+        per_join_rounds: usize,
+        final_rounds: usize,
+    ) -> Result<ChurnNetwork, ChordError> {
         assert!(n_peers >= 1);
         let mut rng = DetRng::new(config.seed);
         let mut group_rng = rng.fork();
@@ -51,20 +82,53 @@ impl ChurnNetwork {
             if chord.node_ids().contains(&id) {
                 continue;
             }
-            chord.join(id, first).expect("join while growing");
-            chord.stabilize_all(32);
+            chord.join(id, first)?;
+            chord.stabilize_all(per_join_rounds);
             storage.insert(id.0, Peer::new(id));
         }
         chord
-            .stabilize_until_consistent(64)
-            .expect("growth converges");
-        ChurnNetwork {
+            .stabilize_until_consistent(final_rounds)
+            .ok_or(ChordError::NotConverged {
+                rounds: final_rounds,
+            })?;
+        Ok(ChurnNetwork {
             config,
             chord,
             storage,
             groups,
             rng,
-        }
+            retry: RetryPolicy::default(),
+            resilience: ResilienceStats::default(),
+            lookup_loss: 0.0,
+        })
+    }
+
+    /// Simulate message loss on the lookup path: each attempt (request or
+    /// its reply) is independently lost with probability `p` and counts as
+    /// a failed attempt, driving the retry machinery. Deterministic — the
+    /// coin flips come from the network's seeded RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_lookup_loss(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.lookup_loss = p;
+    }
+
+    /// Replace the retry policy used by [`Self::query_resilient`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.attempts >= 1, "at least one attempt is required");
+        self.retry = policy;
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Resilience counters (retries, fallbacks, re-replication work).
+    pub fn resilience(&self) -> &ResilienceStats {
+        &self.resilience
     }
 
     /// Number of alive peers.
@@ -94,10 +158,14 @@ impl ChurnNetwork {
         }
     }
 
-    /// Abruptly crash a peer: its cached partitions are lost.
+    /// Abruptly crash a peer: its cached partitions are lost. With a
+    /// replication factor above 1, surviving replicas are immediately
+    /// re-spread so the invariant (each partition at `r` alive successors)
+    /// holds again.
     pub fn fail(&mut self, id: Id) -> Result<(), ChordError> {
         self.chord.fail(id)?;
         self.storage.remove(&id.0);
+        self.re_replicate();
         Ok(())
     }
 
@@ -129,6 +197,7 @@ impl ChurnNetwork {
                 heir.store(ident, range);
             }
         }
+        self.re_replicate();
         Ok(())
     }
 
@@ -143,6 +212,7 @@ impl ChurnNetwork {
             self.chord.join(id, via)?;
             self.storage.insert(id.0, Peer::new(id));
             self.chord.stabilize_all(32);
+            self.re_replicate();
             return Ok(id);
         }
     }
@@ -155,10 +225,7 @@ impl ChurnNetwork {
         let new = self.join_random()?;
         self.chord
             .stabilize_until_consistent(64)
-            .ok_or(ChordError::RoutingFailed {
-                from: new,
-                key: new,
-            })?;
+            .ok_or(ChordError::NotConverged { rounds: 64 })?;
         // The new node's successor holds the keys that must move.
         let succ = self.chord.true_owner(new.plus(1));
         let pred = {
@@ -193,12 +260,212 @@ impl ChurnNetwork {
                 newcomer.store(ident, range);
             }
         }
+        self.re_replicate();
         Ok(new)
     }
 
     /// Run stabilization rounds (after injected churn).
     pub fn stabilize(&mut self, max_rounds: usize) -> Option<usize> {
         self.chord.stabilize_until_consistent(max_rounds)
+    }
+
+    /// The ground-truth replica set for an identifier: the first `r` alive
+    /// nodes clockwise from its placed ring position. Computed from the
+    /// membership oracle, not routing state, so it is correct even while
+    /// finger tables are stale.
+    pub fn replica_owners(&self, identifier: u32) -> Vec<Id> {
+        self.chord
+            .true_successors(self.place(identifier), self.config.replication)
+    }
+
+    /// Restore the successor-replication invariant: every cached
+    /// (identifier, partition) pair must live at all of its
+    /// [`Self::replica_owners`]. Missing copies are rebuilt from any
+    /// surviving one (additive — stale extra copies are left as soft state
+    /// to age out). Returns the number of copies created. No-op when the
+    /// replication factor is 1.
+    pub fn re_replicate(&mut self) -> usize {
+        if self.config.replication <= 1 {
+            return 0;
+        }
+        self.resilience.re_replications += 1;
+        // Inventory of everything stored anywhere, deduplicated.
+        let mut pairs: Vec<(u32, RangeSet)> = Vec::new();
+        {
+            let mut seen: std::collections::HashSet<(u32, &RangeSet)> =
+                std::collections::HashSet::new();
+            for peer in self.storage.values() {
+                for (ident, range) in peer.entries() {
+                    if seen.insert((ident, range)) {
+                        pairs.push((ident, range.clone()));
+                    }
+                }
+            }
+        }
+        let mut restored = 0;
+        for (ident, range) in pairs {
+            for owner in self.replica_owners(ident) {
+                if let Some(peer) = self.storage.get_mut(&owner.0) {
+                    restored += peer.store(ident, range.clone()) as usize;
+                }
+            }
+        }
+        self.resilience.replicas_restored += restored as u64;
+        restored
+    }
+
+    /// One identifier lookup under the retry policy. Attempt 1 is the
+    /// plain greedy lookup; retries back off (deterministic jitter), let a
+    /// stabilization round run — modelling the repair a real deployment's
+    /// periodic stabilizer performs while the client waits — and then route
+    /// failure-aware through successor lists. Returns the owner, the hop
+    /// count of the successful attempt, and how many attempts were spent;
+    /// the failure side carries the attempts spent before giving up
+    /// (attempts or timeout budget exhausted).
+    fn lookup_with_retry(&mut self, origin: Id, key: Id) -> Result<(Id, usize, usize), usize> {
+        let policy = self.retry.clone();
+        let mut elapsed = 0u64;
+        let mut spent = 0usize;
+        for attempt in 1..=policy.attempts {
+            spent = attempt;
+            self.resilience.lookups_attempted += 1;
+            if attempt > 1 {
+                self.resilience.retries += 1;
+            }
+            let lost = self.lookup_loss > 0.0 && self.rng.gen_bool(self.lookup_loss);
+            let result = if lost {
+                // The request (or its reply) vanished in flight; the
+                // client observes a timeout indistinguishable from a
+                // routing failure.
+                Err(ChordError::RoutingFailed { from: origin, key })
+            } else if attempt == 1 {
+                self.chord.lookup(origin, key)
+            } else {
+                self.chord.lookup_resilient(origin, key, policy.hop_budget)
+            };
+            if let Ok((owner, hops)) = result {
+                return Ok((owner, hops, attempt));
+            }
+            if attempt < policy.attempts {
+                let delay = policy.backoff(attempt as u32, &mut self.rng);
+                elapsed += delay;
+                self.resilience.backoff_time += delay;
+                if elapsed > policy.timeout_budget {
+                    break;
+                }
+                self.chord.stabilize_all(1);
+            }
+        }
+        self.resilience.lookups_failed += 1;
+        Err(spent)
+    }
+
+    /// Execute one query through the live routing state, *without* a
+    /// failure escape hatch in the type: lookups that fail are retried per
+    /// the [`RetryPolicy`]; identifiers whose owner stays unreachable are
+    /// skipped; and if **no** owner is reachable the query degrades to a
+    /// source fetch, reported via
+    /// [`QueryOutcome::fell_back_to_source`] and counted in
+    /// [`ResilienceStats::source_fallbacks`]. This path never panics and
+    /// never returns an error, whatever the churn state.
+    ///
+    /// Cache-on-miss stores go to the full replica set of each reachable
+    /// identifier ([`Self::replica_owners`]), which is where the
+    /// replication factor pays off.
+    pub fn query_resilient(&mut self, q: &RangeSet) -> QueryOutcome {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        let hashed_range = if self.config.padding > 0.0 {
+            q.pad(self.config.padding)
+        } else {
+            q.clone()
+        };
+        let identifiers = self.groups.identifiers(&hashed_range);
+        let origin = {
+            let ids = self.chord.node_ids();
+            ids[self.rng.gen_index(ids.len())]
+        };
+
+        let mut hops = Vec::with_capacity(identifiers.len());
+        let mut owners: Vec<Id> = Vec::new();
+        let mut reached: Vec<u32> = Vec::new();
+        let mut attempts_total = 0usize;
+        let mut best: Option<Match> = None;
+        for &ident in &identifiers {
+            let key = self.place(ident);
+            match self.lookup_with_retry(origin, key) {
+                Ok((owner, h, attempts)) => {
+                    hops.push(h);
+                    owners.push(owner);
+                    reached.push(ident);
+                    attempts_total += attempts;
+                    let Some(peer) = self.storage.get(&owner.0) else {
+                        continue;
+                    };
+                    let candidate = if self.config.use_local_index {
+                        peer.best_across_buckets(&hashed_range, self.config.matching)
+                    } else {
+                        peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+                    };
+                    if let Some(m) = candidate {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => m.score > b.score,
+                        };
+                        if better {
+                            best = Some(m);
+                        }
+                    }
+                }
+                Err(spent) => {
+                    attempts_total += spent;
+                }
+            }
+        }
+
+        let fell_back_to_source = reached.is_empty();
+        if fell_back_to_source {
+            self.resilience.source_fallbacks += 1;
+        }
+
+        let exact = best
+            .as_ref()
+            .map(|m| m.range == hashed_range)
+            .unwrap_or(false);
+        let mut stored = false;
+        if self.config.cache_on_miss && !exact {
+            for &ident in &reached {
+                for owner in self.replica_owners(ident) {
+                    if let Some(peer) = self.storage.get_mut(&owner.0) {
+                        stored |= peer.store(ident, hashed_range.clone());
+                    }
+                }
+            }
+        }
+
+        let (similarity, recall, best_match) = match &best {
+            Some(m) => (
+                q.jaccard(&m.range),
+                q.containment_in(&m.range),
+                Some(m.range.clone()),
+            ),
+            None => (0.0, 0.0, None),
+        };
+        let mut distinct = owners;
+        distinct.sort_unstable();
+        distinct.dedup();
+        QueryOutcome {
+            query: q.clone(),
+            best_match,
+            similarity,
+            recall,
+            exact,
+            stored,
+            hops,
+            identifiers,
+            peers_contacted: distinct.len(),
+            attempts: attempts_total,
+            fell_back_to_source,
+        }
     }
 
     /// Execute one query through the live routing state. Fails only if
@@ -218,15 +485,16 @@ impl ChurnNetwork {
 
         let mut hops = Vec::with_capacity(identifiers.len());
         let mut owners = Vec::with_capacity(identifiers.len());
+        let mut reached = 0usize;
         let mut best: Option<Match> = None;
         for &ident in &identifiers {
             let (owner, h) = self.chord.lookup(origin, self.place(ident))?;
             hops.push(h);
             owners.push(owner);
-            let peer = self
-                .storage
-                .get(&owner.0)
-                .expect("alive owner must have storage");
+            let Some(peer) = self.storage.get(&owner.0) else {
+                continue;
+            };
+            reached += 1;
             let candidate = if self.config.use_local_index {
                 peer.best_across_buckets(&hashed_range, self.config.matching)
             } else {
@@ -250,11 +518,9 @@ impl ChurnNetwork {
         let mut stored = false;
         if self.config.cache_on_miss && !exact {
             for (&ident, owner) in identifiers.iter().zip(&owners) {
-                let peer = self
-                    .storage
-                    .get_mut(&owner.0)
-                    .expect("alive owner must have storage");
-                stored |= peer.store(ident, hashed_range.clone());
+                if let Some(peer) = self.storage.get_mut(&owner.0) {
+                    stored |= peer.store(ident, hashed_range.clone());
+                }
             }
         }
 
@@ -269,6 +535,7 @@ impl ChurnNetwork {
         let mut distinct = owners.clone();
         distinct.sort_unstable();
         distinct.dedup();
+        let attempts = identifiers.len();
         Ok(QueryOutcome {
             query: q.clone(),
             best_match,
@@ -279,6 +546,8 @@ impl ChurnNetwork {
             hops,
             identifiers,
             peers_contacted: distinct.len(),
+            attempts,
+            fell_back_to_source: reached == 0,
         })
     }
 }
@@ -292,7 +561,7 @@ mod tests {
     }
 
     fn small_net(seed: u64) -> ChurnNetwork {
-        ChurnNetwork::new(12, SystemConfig::default().with_seed(seed))
+        ChurnNetwork::new(12, SystemConfig::default().with_seed(seed)).expect("growth converges")
     }
 
     #[test]
@@ -417,7 +686,7 @@ mod tests {
 
     #[test]
     fn mixed_churn_stream_keeps_answering() {
-        let mut net = ChurnNetwork::new(20, SystemConfig::default().with_seed(5));
+        let mut net = ChurnNetwork::new(20, SystemConfig::default().with_seed(5)).unwrap();
         let queries: Vec<RangeSet> = (0..40).map(|i| r(i * 10, i * 10 + 50)).collect();
         let mut answered = 0;
         for (i, q) in queries.iter().enumerate() {
@@ -434,5 +703,169 @@ mod tests {
             }
         }
         assert_eq!(answered, 40, "stabilized network must answer everything");
+    }
+
+    #[test]
+    fn starved_growth_reports_nonconvergence() {
+        // Zero stabilization anywhere leaves predecessor-side successor
+        // pointers stale on a 10-node ring; the constructor must surface
+        // that as an error, not a panic or a silently broken network.
+        let err = ChurnNetwork::with_growth_rounds(10, SystemConfig::default().with_seed(8), 0, 0);
+        match err {
+            Err(ChordError::NotConverged { rounds }) => assert_eq!(rounds, 0),
+            Err(e) => panic!("expected NotConverged, got {e}"),
+            Ok(_) => panic!("starved growth must not converge"),
+        }
+    }
+
+    #[test]
+    fn generous_growth_still_converges() {
+        assert!(
+            ChurnNetwork::with_growth_rounds(10, SystemConfig::default().with_seed(8), 32, 64)
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn query_resilient_matches_query_on_calm_network() {
+        let mut a = small_net(13);
+        let mut b = small_net(13);
+        for q in [r(30, 50), r(30, 50), r(200, 280)] {
+            let plain = a.query(&q).unwrap();
+            let res = b.query_resilient(&q);
+            assert_eq!(plain.best_match, res.best_match);
+            assert_eq!(plain.exact, res.exact);
+            assert_eq!(plain.recall, res.recall);
+            assert_eq!(res.attempts, 5, "no retries on a calm ring");
+            assert!(!res.fell_back_to_source);
+        }
+        assert_eq!(b.resilience().retries, 0);
+        assert_eq!(b.resilience().source_fallbacks, 0);
+    }
+
+    #[test]
+    fn replication_places_r_copies_per_identifier() {
+        let mut net = ChurnNetwork::new(
+            12,
+            SystemConfig::default().with_seed(21).with_replication(2),
+        )
+        .unwrap();
+        let out = net.query_resilient(&r(100, 200));
+        assert!(out.stored);
+        // Each of the l identifiers is stored at 2 replica owners (which
+        // may coincide across identifiers, but per identifier there are 2
+        // distinct peers in a 12-node ring).
+        for &ident in &out.identifiers {
+            let owners = net.replica_owners(ident);
+            assert_eq!(owners.len(), 2);
+            let held = owners
+                .iter()
+                .filter(|o| {
+                    net.storage
+                        .get(&o.0)
+                        .map(|p| p.bucket(ident).is_some())
+                        .unwrap_or(false)
+                })
+                .count();
+            assert_eq!(held, 2, "identifier {ident} missing a replica");
+        }
+    }
+
+    #[test]
+    fn replication_survives_abrupt_failure() {
+        let mut net =
+            ChurnNetwork::new(12, SystemConfig::default().with_seed(2).with_replication(2))
+                .unwrap();
+        net.query_resilient(&r(100, 200));
+        // Kill the *primary* owner of every identifier; the replica (next
+        // successor) must keep every bucket findable after stabilization.
+        let out = net.query_resilient(&r(100, 200));
+        assert!(out.exact, "warm cache before failure");
+        let primaries: Vec<Id> = out
+            .identifiers
+            .iter()
+            .map(|&i| net.replica_owners(i)[0])
+            .collect();
+        for p in primaries {
+            if net.len() > 2 && net.chord().node_ids().contains(&p) {
+                net.fail(p).unwrap();
+            }
+        }
+        net.stabilize(128).expect("recovers");
+        let after = net.query_resilient(&r(100, 200));
+        assert!(after.exact, "replicated partition lost to primary failures");
+        assert!(net.resilience().re_replications > 0);
+    }
+
+    #[test]
+    fn unreplicated_failure_still_loses_buckets() {
+        // The r = 1 baseline keeps the paper's soft-state behavior: killing
+        // every holder loses the data (the replication test above is the
+        // contrast).
+        let mut net = small_net(2);
+        net.query_resilient(&r(100, 200));
+        let holders: Vec<Id> = net
+            .chord()
+            .node_ids()
+            .into_iter()
+            .filter(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for h in holders {
+            if net.len() > 1 {
+                net.fail(h).unwrap();
+            }
+        }
+        net.stabilize(128).expect("recovers");
+        assert_eq!(net.total_partitions(), 0);
+        assert_eq!(net.resilience().re_replications, 0, "r=1 never sweeps");
+    }
+
+    #[test]
+    fn lookup_loss_drives_retries_but_queries_survive() {
+        let mut net = small_net(17);
+        net.set_lookup_loss(0.3);
+        for i in 0..10u32 {
+            let out = net.query_resilient(&r(i * 30, i * 30 + 40));
+            assert!(out.attempts >= 5, "at least one attempt per identifier");
+        }
+        assert!(net.resilience().retries > 0, "30% loss must force retries");
+        assert_eq!(
+            net.resilience().lookups_attempted,
+            net.resilience().retries + 50,
+            "attempts = first tries + retries"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lookup_loss_rejects_bad_probability() {
+        small_net(1).set_lookup_loss(1.5);
+    }
+
+    #[test]
+    fn query_resilient_survives_unstabilized_mass_failure() {
+        // Crash a third of the ring and query *before* stabilization: the
+        // retry path (failure-aware routing + backoff-with-stabilize) must
+        // answer without panicking or erroring, falling back to source only
+        // as a last resort.
+        let mut net = ChurnNetwork::new(20, SystemConfig::default().with_seed(31)).unwrap();
+        net.query_resilient(&r(100, 200));
+        net.fail_random(6);
+        let mut fallbacks = 0;
+        for i in 0..10u32 {
+            let out = net.query_resilient(&r(i * 50, i * 50 + 60));
+            assert!(out.recall >= 0.0 && out.recall <= 1.0);
+            fallbacks += out.fell_back_to_source as u32;
+        }
+        assert_eq!(
+            net.resilience().source_fallbacks as u32,
+            fallbacks,
+            "stats must agree with outcomes"
+        );
     }
 }

@@ -57,6 +57,12 @@ pub struct SystemConfig {
     pub use_local_index: bool,
     /// Identifier → ring-position mapping.
     pub placement: Placement,
+    /// Successor replication factor for cached partitions (`r`): each
+    /// stored partition is placed at the first `r` alive successors of its
+    /// placed identifier, so up to `r - 1` abrupt failures leave a copy
+    /// findable. `1` (the paper's implicit setting) disables replication;
+    /// the fault-tolerance bench sweeps this (see `crate::resilient`).
+    pub replication: usize,
     /// Seed for hash-function generation and origin-peer selection.
     pub seed: u64,
 }
@@ -74,6 +80,7 @@ impl Default for SystemConfig {
             cache_on_miss: true,
             use_local_index: false,
             placement: Placement::Uniformized,
+            replication: 1,
             seed: 0xA25_2003, // arbitrary fixed default
         }
     }
@@ -136,6 +143,16 @@ impl SystemConfig {
         self.placement = placement;
         self
     }
+
+    /// Builder-style: set the successor replication factor.
+    ///
+    /// # Panics
+    /// Panics if `r` is zero (a partition must live somewhere).
+    pub fn with_replication(mut self, r: usize) -> SystemConfig {
+        assert!(r >= 1, "replication factor must be at least 1");
+        self.replication = r;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +169,19 @@ mod tests {
         assert_eq!(c.padding, 0.0);
         assert!(c.cache_on_miss);
         assert!(!c.use_local_index);
+        assert_eq!(c.replication, 1, "paper stores one copy per identifier");
+    }
+
+    #[test]
+    fn replication_builder() {
+        let c = SystemConfig::default().with_replication(3);
+        assert_eq!(c.replication, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_replication_rejected() {
+        SystemConfig::default().with_replication(0);
     }
 
     #[test]

@@ -105,6 +105,8 @@ impl ExactMatchNetwork {
             hops: vec![hops],
             identifiers: vec![key.0],
             peers_contacted: 1,
+            attempts: 1,
+            fell_back_to_source: false,
         }
     }
 

@@ -42,6 +42,7 @@ pub mod network;
 pub mod peer;
 pub mod proto;
 pub mod recall;
+pub mod resilient;
 
 pub use adaptive::{AdaptiveClient, AdaptivePadding};
 pub use bucket::Bucket;
@@ -54,3 +55,4 @@ pub use network::{NetworkStats, QueryOutcome, RangeSelectNetwork};
 pub use peer::Peer;
 pub use proto::{ProtoNetwork, ThreadedProtoNetwork};
 pub use recall::{recall_curve, similarity_histogram, RECALL_THRESHOLDS};
+pub use resilient::{ResilienceStats, RetryPolicy};

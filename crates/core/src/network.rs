@@ -39,6 +39,15 @@ pub struct QueryOutcome {
     pub identifiers: Vec<u32>,
     /// Number of distinct peers contacted.
     pub peers_contacted: usize,
+    /// Total lookup attempts spent on this query, retries included. Equals
+    /// `identifiers.len()` on a healthy network; larger when the resilient
+    /// query path ([`crate::ChurnNetwork::query_resilient`]) had to route
+    /// around failures.
+    pub attempts: usize,
+    /// True if no identifier owner could be reached at all and the query
+    /// degraded to fetching directly from the source relations — the
+    /// paper's soft-state escape hatch, surfaced instead of an error.
+    pub fell_back_to_source: bool,
 }
 
 /// Memoized identifier computation, keyed by the (padded) hashed range.
@@ -267,8 +276,13 @@ impl RangeSelectNetwork {
         };
 
         // Route each identifier; collect each owner's best bucket match.
+        // An owner without storage state (impossible on a static ring, but
+        // reachable through subclass-style reuse under churn) is skipped
+        // rather than panicking; the outcome records whether *any* owner
+        // was reachable.
         let mut hops = Vec::with_capacity(identifiers.len());
         let mut owners = Vec::with_capacity(identifiers.len());
+        let mut reached = 0usize;
         let mut best: Option<Match> = None;
         for &ident in &identifiers {
             let (owner, h) = self.ring.lookup(origin, self.place(ident));
@@ -276,7 +290,10 @@ impl RangeSelectNetwork {
             owners.push(owner);
             self.stats.lookups += 1;
             self.stats.total_hops += h as u64;
-            let peer = &self.peers[&owner.0];
+            let Some(peer) = self.peers.get(&owner.0) else {
+                continue;
+            };
+            reached += 1;
             let candidate = if self.config.use_local_index {
                 peer.best_across_buckets(&hashed_range, self.config.matching)
             } else {
@@ -302,8 +319,9 @@ impl RangeSelectNetwork {
         let mut stored = false;
         if self.config.cache_on_miss && !exact {
             for (&ident, owner) in identifiers.iter().zip(&owners) {
-                let peer = self.peers.get_mut(&owner.0).expect("owner must exist");
-                stored |= peer.store(ident, hashed_range.clone());
+                if let Some(peer) = self.peers.get_mut(&owner.0) {
+                    stored |= peer.store(ident, hashed_range.clone());
+                }
             }
         }
 
@@ -333,6 +351,7 @@ impl RangeSelectNetwork {
             self.stats.stored += 1;
         }
 
+        let attempts = identifiers.len();
         QueryOutcome {
             query: q.clone(),
             best_match,
@@ -343,6 +362,8 @@ impl RangeSelectNetwork {
             hops,
             identifiers,
             peers_contacted: distinct.len(),
+            attempts,
+            fell_back_to_source: reached == 0,
         }
     }
 
@@ -447,16 +468,18 @@ impl RangeSelectNetwork {
 
     /// Store a partition range directly (bypassing the query path) — used
     /// by the load-balance experiments, which populate the table without
-    /// measuring match quality.
-    pub fn store_partition(&mut self, range: &RangeSet) {
+    /// measuring match quality. Returns the number of copies placed (an
+    /// owner without storage state is skipped, never a panic).
+    pub fn store_partition(&mut self, range: &RangeSet) -> usize {
         let identifiers = self.groups.identifiers(range);
+        let mut placed = 0;
         for ident in identifiers {
             let owner = self.ring.successor_of(self.place(ident));
-            self.peers
-                .get_mut(&owner.0)
-                .expect("owner must exist")
-                .store(ident, range.clone());
+            if let Some(peer) = self.peers.get_mut(&owner.0) {
+                placed += peer.store(ident, range.clone()) as usize;
+            }
         }
+        placed
     }
 }
 
@@ -486,6 +509,8 @@ mod tests {
         assert_eq!(out.hops.len(), 5);
         assert_eq!(out.identifiers.len(), 5);
         assert!(out.peers_contacted >= 1 && out.peers_contacted <= 5);
+        assert_eq!(out.attempts, 5, "one attempt per identifier, no retries");
+        assert!(!out.fell_back_to_source);
         assert!(n.total_partitions() >= 1);
     }
 

@@ -107,6 +107,15 @@ impl Peer {
         self.buckets.values().any(|b| b.contains(range))
     }
 
+    /// Iterate over all stored (identifier, range) pairs without consuming
+    /// them — the re-replication sweep reads every peer's inventory to
+    /// restore the successor-replication invariant after churn.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, &RangeSet)> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|(&ident, bucket)| bucket.ranges().iter().map(move |r| (ident, r)))
+    }
+
     /// Drain all stored (identifier, range) pairs — used when a peer leaves
     /// gracefully and hands its keys to its successor.
     pub fn drain(&mut self) -> Vec<(u32, RangeSet)> {
@@ -188,6 +197,18 @@ mod tests {
         assert!(p
             .best_across_buckets(&r(0, 1), MatchMeasure::Jaccard)
             .is_none());
+    }
+
+    #[test]
+    fn entries_iterates_without_consuming() {
+        let mut p = Peer::new(Id(1));
+        p.store(7, r(0, 10));
+        p.store(7, r(20, 30));
+        p.store(9, r(100, 110));
+        let mut seen: Vec<(u32, RangeSet)> = p.entries().map(|(i, r)| (i, r.clone())).collect();
+        seen.sort_by(|a, b| (a.0, a.1.intervals()).cmp(&(b.0, b.1.intervals())));
+        assert_eq!(seen, vec![(7, r(0, 10)), (7, r(20, 30)), (9, r(100, 110))]);
+        assert_eq!(p.partition_count(), 3, "entries must not drain");
     }
 
     #[test]

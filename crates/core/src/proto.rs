@@ -19,7 +19,7 @@ use ars_chord::{Id, Ring};
 use ars_common::{DetRng, FxHashMap};
 use ars_lsh::{HashGroups, RangeSet};
 use ars_simnet::codec::{get_seq, get_u32, get_u64, get_u8, put_seq, CodecError, Wire};
-use ars_simnet::{ConstantLatency, Node, NodeCtx, SimNet, ThreadedNet};
+use ars_simnet::{ConstantLatency, FaultPlan, Node, NodeCtx, SimNet, ThreadedNet};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::{Arc, Mutex};
 
@@ -448,6 +448,25 @@ impl ProtoNetwork {
         net
     }
 
+    /// Like [`ProtoNetwork::new`] but with an arbitrary seeded
+    /// [`FaultPlan`] — drops, duplication, extra delay, node crash and
+    /// pause windows — executed by the simulator's fault injector. Under
+    /// any plan, queries complete with well-formed (possibly degraded)
+    /// outcomes: lost replies read as timeouts, duplicated replies are
+    /// deduplicated by request id, and crashed peers simply never answer.
+    pub fn new_faulty(
+        n_peers: usize,
+        config: SystemConfig,
+        plan: FaultPlan,
+        fault_seed: u64,
+    ) -> ProtoNetwork {
+        let mut net = ProtoNetwork::new(n_peers, config);
+        let benign = plan.is_benign();
+        net.net.set_faults(plan, fault_seed);
+        net.lossy = !benign;
+        net
+    }
+
     /// Messages dropped by the loss model so far.
     pub fn messages_dropped(&self) -> u64 {
         self.net.stats().dropped
@@ -526,6 +545,9 @@ impl ProtoNetwork {
                 .collect()
         };
         replies.sort_by_key(|r| r.request);
+        // A duplicating fault plan can deliver the same MatchReply twice;
+        // request ids make the extra copies harmless.
+        replies.dedup_by_key(|r| r.request);
         if !self.lossy {
             assert_eq!(
                 replies.len(),
@@ -587,6 +609,10 @@ impl ProtoNetwork {
             None => (0.0, 0.0, None),
         };
         let hops: Vec<usize> = replies.iter().map(|r| r.hops as usize).collect();
+        let attempts = identifiers.len();
+        // With every reply lost (possible only under faults), the origin
+        // would fall back to fetching from the source relations.
+        let fell_back_to_source = replies.is_empty();
         QueryOutcome {
             query: q.clone(),
             best_match,
@@ -597,6 +623,8 @@ impl ProtoNetwork {
             hops,
             identifiers,
             peers_contacted: 0, // not tracked in the message rendition
+            attempts,
+            fell_back_to_source,
         }
     }
 }
@@ -785,6 +813,7 @@ impl ThreadedProtoNetwork {
             None => (0.0, 0.0, None),
         };
         let hops: Vec<usize> = replies.iter().map(|r| r.hops as usize).collect();
+        let attempts = identifiers.len();
         QueryOutcome {
             query: q.clone(),
             best_match,
@@ -795,6 +824,8 @@ impl ThreadedProtoNetwork {
             hops,
             identifiers,
             peers_contacted: 0,
+            attempts,
+            fell_back_to_source: false,
         }
     }
 

@@ -67,6 +67,8 @@ mod tests {
             hops: vec![],
             identifiers: vec![],
             peers_contacted: 0,
+            attempts: 0,
+            fell_back_to_source: false,
         }
     }
 

@@ -1,0 +1,192 @@
+//! Failure resilience for the query path.
+//!
+//! The paper treats cached partitions as soft state: anything lost to a
+//! crashed peer is rebuildable from the source relations (§4). This module
+//! supplies the machinery that makes that story operational instead of
+//! aspirational:
+//!
+//! * [`RetryPolicy`] — bounded retries of identifier lookups with
+//!   exponential backoff and *deterministic* jitter (drawn from the
+//!   network's own [`ars_common::DetRng`] stream, so a seeded run replays
+//!   bit-identically);
+//! * graceful degradation — when every retry is exhausted the query falls
+//!   back to fetching from the source relations, surfaced through
+//!   [`crate::QueryOutcome::fell_back_to_source`] and counted in
+//!   [`ResilienceStats`], never a panic or an error the caller must
+//!   unwrap;
+//! * successor replication — [`crate::ChurnNetwork`] places each cached
+//!   partition at the first `r` alive successors of its placed identifier
+//!   (configured via [`crate::SystemConfig::with_replication`]) and
+//!   re-replicates after joins, leaves, and failures, so up to `r - 1`
+//!   abrupt crashes leave every bucket findable.
+
+use ars_common::DetRng;
+
+/// Retry schedule for identifier lookups under churn.
+///
+/// Attempt 1 is the ordinary greedy Chord lookup; subsequent attempts use
+/// the failure-aware routing ([`ars_chord::DynamicNetwork::lookup_resilient`])
+/// that detours through successor lists, separated by exponentially growing
+/// backoff delays. All delays are virtual time — the simulator has no wall
+/// clock — and the jitter comes from the deterministic RNG, so retries
+/// never break reproducibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per identifier lookup (≥ 1, first try included).
+    pub attempts: usize,
+    /// Total backoff budget (virtual time units) per identifier; once the
+    /// accumulated delays exceed it, remaining attempts are forfeited.
+    pub timeout_budget: u64,
+    /// Backoff before the first retry; doubles each retry after that.
+    pub base_backoff: u64,
+    /// Cap on the exponential term (jitter rides on top).
+    pub max_backoff: u64,
+    /// Hop budget handed to the failure-aware routing of retries.
+    pub hop_budget: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            timeout_budget: 10_000,
+            base_backoff: 100,
+            max_backoff: 1_600,
+            hop_budget: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: the plain greedy lookup, take it or
+    /// leave it. Failures degrade to source fetch immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            timeout_budget: 0,
+            base_backoff: 0,
+            max_backoff: 0,
+            hop_budget: 0,
+        }
+    }
+
+    /// Backoff delay before retry number `retry` (1-based): exponential
+    /// `base · 2^(retry-1)` capped at `max_backoff`, plus jitter uniform in
+    /// `[0, base)` drawn from the deterministic stream.
+    pub fn backoff(&self, retry: u32, rng: &mut DetRng) -> u64 {
+        let shift = (retry.saturating_sub(1)).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff);
+        let jitter = if self.base_backoff > 0 {
+            rng.gen_range_u64(self.base_backoff)
+        } else {
+            0
+        };
+        exp + jitter
+    }
+}
+
+/// Counters describing how hard the resilient query path had to work.
+///
+/// Separate from [`crate::NetworkStats`]: these only move when something
+/// went wrong (or was repaired), so a clean run reports all zeros.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Individual lookup attempts issued, including first tries.
+    pub lookups_attempted: u64,
+    /// Attempts beyond the first (retries through failure-aware routing).
+    pub retries: u64,
+    /// Identifier lookups abandoned after the whole retry schedule.
+    pub lookups_failed: u64,
+    /// Queries in which *no* identifier owner was reachable and the answer
+    /// came from the source relations.
+    pub source_fallbacks: u64,
+    /// Virtual time spent backing off between attempts.
+    pub backoff_time: u64,
+    /// Re-replication sweeps run after membership changes.
+    pub re_replications: u64,
+    /// Partition copies created by those sweeps (missing replicas
+    /// restored from surviving ones).
+    pub replicas_restored: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_sane() {
+        let p = RetryPolicy::default();
+        assert!(p.attempts >= 2, "default must actually retry");
+        assert!(p.max_backoff >= p.base_backoff);
+        assert!(p.hop_budget > 0);
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts, 1);
+        let mut rng = DetRng::new(1);
+        assert_eq!(p.backoff(1, &mut rng), 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            attempts: 6,
+            timeout_budget: u64::MAX,
+            base_backoff: 100,
+            max_backoff: 400,
+            hop_budget: 8,
+        };
+        let mut rng = DetRng::new(7);
+        let d1 = p.backoff(1, &mut rng);
+        let d2 = p.backoff(2, &mut rng);
+        let d5 = p.backoff(5, &mut rng);
+        assert!((100..200).contains(&d1), "retry 1: base + jitter, got {d1}");
+        assert!(
+            (200..300).contains(&d2),
+            "retry 2: 2·base + jitter, got {d2}"
+        );
+        assert!(
+            (400..500).contains(&d5),
+            "retry 5: capped + jitter, got {d5}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let mut a = DetRng::new(5);
+        let mut b = DetRng::new(5);
+        for retry in 1..6 {
+            assert_eq!(p.backoff(retry, &mut a), p.backoff(retry, &mut b));
+        }
+    }
+
+    #[test]
+    fn huge_retry_number_does_not_overflow() {
+        let p = RetryPolicy::default();
+        let mut rng = DetRng::new(0);
+        let d = p.backoff(u32::MAX, &mut rng);
+        assert!(d <= p.max_backoff + p.base_backoff);
+    }
+
+    #[test]
+    fn stats_default_all_zero() {
+        assert_eq!(
+            ResilienceStats::default(),
+            ResilienceStats {
+                lookups_attempted: 0,
+                retries: 0,
+                lookups_failed: 0,
+                source_fallbacks: 0,
+                backoff_time: 0,
+                re_replications: 0,
+                replicas_restored: 0,
+            }
+        );
+    }
+}

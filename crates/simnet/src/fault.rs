@@ -1,0 +1,363 @@
+//! Deterministic fault injection for both network runtimes.
+//!
+//! A [`FaultPlan`] describes how a run's transport misbehaves — message
+//! drop, duplication, and extra delay (globally or per link), plus node
+//! crash and pause windows — and a [`FaultInjector`] executes the plan
+//! from a seeded [`DetRng`], so every fault a run experiences is a pure
+//! function of `(plan, seed)`. The same injector drives the discrete-event
+//! simulator ([`crate::sim::SimNet::set_faults`]) and the threaded runtime
+//! ([`crate::threaded::ThreadedNet::spawn_with_faults`]); experiments and
+//! the resilience test-suite replay identical fault schedules on either.
+//!
+//! Semantics, decided at *send* time (deterministic, independent of
+//! delivery interleaving):
+//!
+//! * **crash**: a node crashed at or before the send time neither sends
+//!   nor receives — the message is dropped;
+//! * **pause**: a message to a node inside a pause window is deferred to
+//!   the window's end (a stalled-but-alive process), not dropped;
+//! * **drop**: the message vanishes, counted in `dropped`;
+//! * **duplicate**: one extra copy is scheduled (each copy counts as sent
+//!   and is then independently delayed);
+//! * **delay**: a uniform extra latency from the configured window.
+
+use crate::event::SimTime;
+use ars_common::DetRng;
+
+/// A node crash: from `at` (inclusive) onward the node is gone for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crashing node (runtime peer index).
+    pub node: usize,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+}
+
+/// A node pause: within `[from, until)` the node is unresponsive;
+/// messages addressed to it are deferred to `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseWindow {
+    /// The pausing node (runtime peer index).
+    pub node: usize,
+    /// Pause start (inclusive).
+    pub from: SimTime,
+    /// Pause end (exclusive) — deferred messages land here.
+    pub until: SimTime,
+}
+
+/// A declarative description of how a run's transport misbehaves.
+///
+/// Built with the `with_*` methods; executed by a [`FaultInjector`]. The
+/// default plan injects nothing (a perfect network).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Per-message drop probability (all links unless overridden).
+    pub drop_p: f64,
+    /// Per-message duplication probability.
+    pub duplicate_p: f64,
+    /// Per-message probability of extra delay.
+    pub delay_p: f64,
+    /// Extra delay window `[lo, hi]` applied when `delay_p` fires.
+    pub delay_range: (SimTime, SimTime),
+    /// Per-link drop-probability overrides `(from, to, p)`.
+    pub link_drop: Vec<(usize, usize, f64)>,
+    /// Permanent node crashes.
+    pub crashes: Vec<CrashWindow>,
+    /// Temporary node pauses.
+    pub pauses: Vec<PauseWindow>,
+}
+
+fn check_p(p: f64) {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True if this plan can never affect a message.
+    pub fn is_benign(&self) -> bool {
+        self.drop_p == 0.0
+            && self.duplicate_p == 0.0
+            && self.delay_p == 0.0
+            && self.link_drop.is_empty()
+            && self.crashes.is_empty()
+            && self.pauses.is_empty()
+    }
+
+    /// Drop every message independently with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_drop(mut self, p: f64) -> FaultPlan {
+        check_p(p);
+        self.drop_p = p;
+        self
+    }
+
+    /// Duplicate every message independently with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_duplicate(mut self, p: f64) -> FaultPlan {
+        check_p(p);
+        self.duplicate_p = p;
+        self
+    }
+
+    /// With probability `p`, add a uniform extra delay from `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1` and `lo ≤ hi`.
+    pub fn with_delay(mut self, p: f64, lo: SimTime, hi: SimTime) -> FaultPlan {
+        check_p(p);
+        assert!(lo <= hi, "invalid delay interval");
+        self.delay_p = p;
+        self.delay_range = (lo, hi);
+        self
+    }
+
+    /// Override the drop probability of the directed link `from → to`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_link_drop(mut self, from: usize, to: usize, p: f64) -> FaultPlan {
+        check_p(p);
+        self.link_drop.push((from, to, p));
+        self
+    }
+
+    /// Crash `node` permanently at virtual time `at`.
+    pub fn with_crash(mut self, node: usize, at: SimTime) -> FaultPlan {
+        self.crashes.push(CrashWindow { node, at });
+        self
+    }
+
+    /// Pause `node` over `[from, until)`.
+    ///
+    /// # Panics
+    /// Panics unless `from < until`.
+    pub fn with_pause(mut self, node: usize, from: SimTime, until: SimTime) -> FaultPlan {
+        assert!(from < until, "empty pause window");
+        self.pauses.push(PauseWindow { node, from, until });
+        self
+    }
+
+    fn drop_p_for(&self, from: usize, to: usize) -> f64 {
+        self.link_drop
+            .iter()
+            .rev() // last override wins
+            .find(|&&(f, t, _)| f == from && t == to)
+            .map(|&(_, _, p)| p)
+            .unwrap_or(self.drop_p)
+    }
+}
+
+/// What the injector decided for one sent message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The message is gone (loss, or an endpoint is crashed).
+    Drop,
+    /// Deliver one copy per entry; each entry is the *extra* delay (beyond
+    /// the latency model) to add to that copy. `vec![0]` is a clean send.
+    Deliver(Vec<SimTime>),
+}
+
+impl FaultAction {
+    /// Number of copies this action schedules (0 when dropped).
+    pub fn copies(&self) -> usize {
+        match self {
+            FaultAction::Drop => 0,
+            FaultAction::Deliver(extra) => extra.len(),
+        }
+    }
+}
+
+/// Executes a [`FaultPlan`] deterministically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: DetRng,
+    dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+}
+
+impl FaultInjector {
+    /// An injector running `plan` with randomness seeded by `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: DetRng::new(seed),
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Messages the injector has dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Messages the injector has duplicated.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Messages the injector has delayed (beyond the latency model).
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// True if `node` has crashed at or before `now`.
+    pub fn is_crashed(&self, node: usize, now: SimTime) -> bool {
+        self.plan
+            .crashes
+            .iter()
+            .any(|c| c.node == node && now >= c.at)
+    }
+
+    /// Extra delay a message arriving at `to` around `now` suffers from an
+    /// active pause window (0 when none).
+    fn pause_delay(&self, to: usize, now: SimTime) -> SimTime {
+        self.plan
+            .pauses
+            .iter()
+            .filter(|p| p.node == to && now >= p.from && now < p.until)
+            .map(|p| p.until - now)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decide the fate of one message sent `from → to` at virtual time
+    /// `now`. Consumes randomness in a fixed order (drop, duplicate,
+    /// per-copy delay) so runs replay identically.
+    pub fn on_send(&mut self, from: usize, to: usize, now: SimTime) -> FaultAction {
+        if self.is_crashed(from, now) || self.is_crashed(to, now) {
+            self.dropped += 1;
+            return FaultAction::Drop;
+        }
+        let p = self.plan.drop_p_for(from, to);
+        if p > 0.0 && self.rng.gen_bool(p) {
+            self.dropped += 1;
+            return FaultAction::Drop;
+        }
+        let copies = if self.plan.duplicate_p > 0.0 && self.rng.gen_bool(self.plan.duplicate_p) {
+            self.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let pause = self.pause_delay(to, now);
+        let mut extra = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let mut d = pause;
+            if self.plan.delay_p > 0.0 && self.rng.gen_bool(self.plan.delay_p) {
+                let (lo, hi) = self.plan.delay_range;
+                d += lo + self.rng.gen_range_u64(hi - lo + 1);
+                self.delayed += 1;
+            }
+            extra.push(d);
+        }
+        FaultAction::Deliver(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_delivers_one_clean_copy() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        assert!(inj.plan().is_benign());
+        for t in [0, 10, 1000] {
+            assert_eq!(inj.on_send(0, 1, t), FaultAction::Deliver(vec![0]));
+        }
+        assert_eq!(inj.dropped(), 0);
+    }
+
+    #[test]
+    fn full_drop_loses_everything() {
+        let mut inj = FaultInjector::new(FaultPlan::none().with_drop(1.0), 7);
+        for _ in 0..20 {
+            assert_eq!(inj.on_send(0, 1, 0), FaultAction::Drop);
+        }
+        assert_eq!(inj.dropped(), 20);
+    }
+
+    #[test]
+    fn duplication_schedules_two_copies() {
+        let mut inj = FaultInjector::new(FaultPlan::none().with_duplicate(1.0), 3);
+        let act = inj.on_send(0, 1, 0);
+        assert_eq!(act.copies(), 2);
+        assert_eq!(inj.duplicated(), 1);
+    }
+
+    #[test]
+    fn crash_blackholes_both_directions() {
+        let plan = FaultPlan::none().with_crash(2, 100);
+        let mut inj = FaultInjector::new(plan, 1);
+        // Before the crash: fine.
+        assert_eq!(inj.on_send(2, 0, 99).copies(), 1);
+        assert_eq!(inj.on_send(0, 2, 99).copies(), 1);
+        // From the crash instant on: dropped, either direction.
+        assert_eq!(inj.on_send(2, 0, 100), FaultAction::Drop);
+        assert_eq!(inj.on_send(0, 2, 5000), FaultAction::Drop);
+        assert_eq!(inj.on_send(0, 1, 5000).copies(), 1);
+    }
+
+    #[test]
+    fn pause_defers_to_window_end() {
+        let plan = FaultPlan::none().with_pause(1, 50, 80);
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.on_send(0, 1, 40), FaultAction::Deliver(vec![0]));
+        assert_eq!(inj.on_send(0, 1, 60), FaultAction::Deliver(vec![20]));
+        assert_eq!(inj.on_send(0, 1, 80), FaultAction::Deliver(vec![0]));
+    }
+
+    #[test]
+    fn link_override_beats_global() {
+        let plan = FaultPlan::none().with_drop(0.0).with_link_drop(3, 4, 1.0);
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.on_send(3, 4, 0), FaultAction::Drop);
+        assert_eq!(inj.on_send(4, 3, 0).copies(), 1); // directed
+        assert_eq!(inj.on_send(0, 1, 0).copies(), 1);
+    }
+
+    #[test]
+    fn delay_window_respected_and_deterministic() {
+        let plan = FaultPlan::none().with_delay(1.0, 10, 30);
+        let mut a = FaultInjector::new(plan.clone(), 9);
+        let mut b = FaultInjector::new(plan, 9);
+        for _ in 0..50 {
+            let (x, y) = (a.on_send(0, 1, 0), b.on_send(0, 1, 0));
+            assert_eq!(x, y);
+            let FaultAction::Deliver(extra) = x else {
+                panic!("delay plan never drops");
+            };
+            assert!((10..=30).contains(&extra[0]), "delay {} off", extra[0]);
+        }
+        assert_eq!(a.delayed(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_rejected() {
+        let _ = FaultPlan::none().with_drop(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pause window")]
+    fn bad_pause_rejected() {
+        let _ = FaultPlan::none().with_pause(0, 10, 10);
+    }
+}

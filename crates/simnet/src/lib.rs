@@ -15,14 +15,20 @@
 //! * [`codec`] — a small binary wire format (length-prefixed frames over
 //!   `bytes`) so protocol messages have a concrete encoding, exercised by
 //!   round-trip tests.
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   (drop, duplication, extra delay, node crash/pause windows) executed
+//!   identically by both runtimes, driving the `SimStats` accounting
+//!   invariant `sent == delivered + dropped + queued`.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod event;
+pub mod fault;
 pub mod sim;
 pub mod threaded;
 
 pub use event::{ConstantLatency, LatencyModel, UniformLatency};
+pub use fault::{FaultAction, FaultInjector, FaultPlan};
 pub use sim::{Node, NodeCtx, SimNet, SimStats};
 pub use threaded::ThreadedNet;

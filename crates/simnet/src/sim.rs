@@ -7,22 +7,38 @@
 //! results are exactly reproducible.
 
 use crate::event::{Delivery, EventQueue, LatencyModel, SimTime};
-use ars_common::DetRng;
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 
 /// Aggregate transport statistics for one run.
+///
+/// Every send attempt is accounted exactly once, so at any instant
+/// `sent == delivered + dropped + queued` — the conservation invariant the
+/// fault layer is tested against. Duplicated messages count each copy as a
+/// separate send.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total messages delivered.
     pub delivered: u64,
-    /// Total messages sent (delivered + still queued at stop).
+    /// Total send attempts (delivered + dropped + still queued).
     pub sent: u64,
-    /// Messages dropped by the loss model.
+    /// Messages dropped by the fault layer (loss model or crashed
+    /// endpoint).
     pub dropped: u64,
+    /// Messages currently scheduled but not yet delivered.
+    pub queued: u64,
     /// Total wire bytes sent (only counted when a meter is installed via
     /// [`SimNet::set_meter`]).
     pub bytes: u64,
     /// Virtual time of the last delivery.
     pub end_time: SimTime,
+}
+
+impl SimStats {
+    /// The conservation invariant: every send attempt is delivered,
+    /// dropped, or still queued.
+    pub fn is_conserved(&self) -> bool {
+        self.sent == self.delivered + self.dropped + self.queued
+    }
 }
 
 /// A wire meter: returns the on-wire size of a message.
@@ -71,14 +87,13 @@ pub struct SimNet<M, L: LatencyModel> {
     latency: L,
     now: SimTime,
     stats: SimStats,
-    /// Optional loss model: each message independently dropped with this
-    /// probability (failure injection).
-    loss: Option<(f64, DetRng)>,
+    /// Optional fault injector (drop/duplicate/delay/crash/pause).
+    faults: Option<FaultInjector>,
     /// Optional wire meter: bytes a message would occupy on the wire.
     meter: Option<WireMeter<M>>,
 }
 
-impl<M, L: LatencyModel> SimNet<M, L> {
+impl<M: Clone, L: LatencyModel> SimNet<M, L> {
     /// Create a simulator over `nodes` with the given latency model.
     pub fn new(nodes: Vec<Box<dyn Node<M>>>, latency: L) -> SimNet<M, L> {
         SimNet {
@@ -87,7 +102,7 @@ impl<M, L: LatencyModel> SimNet<M, L> {
             latency,
             now: 0,
             stats: SimStats::default(),
-            loss: None,
+            faults: None,
             meter: None,
         }
     }
@@ -107,27 +122,56 @@ impl<M, L: LatencyModel> SimNet<M, L> {
     }
 
     /// Enable lossy transport: every message (injected or sent by a
-    /// handler) is independently dropped with probability `p`.
+    /// handler) is independently dropped with probability `p`. Shorthand
+    /// for [`Self::set_faults`] with a drop-only plan.
     ///
     /// # Panics
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn set_loss(&mut self, p: f64, seed: u64) {
         assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-        self.loss = if p > 0.0 {
-            Some((p, DetRng::new(seed)))
-        } else {
+        self.set_faults(FaultPlan::none().with_drop(p), seed);
+    }
+
+    /// Install a fault plan: every message (injected or sent by a handler)
+    /// passes through a seeded [`FaultInjector`] that may drop, duplicate,
+    /// or delay it, honouring crash and pause windows. A benign plan
+    /// removes the injector.
+    pub fn set_faults(&mut self, plan: FaultPlan, seed: u64) {
+        self.faults = if plan.is_benign() {
             None
+        } else {
+            Some(FaultInjector::new(plan, seed))
         };
     }
 
-    /// Returns true if the loss model decides to drop a message.
-    fn drops(&mut self) -> bool {
-        match &mut self.loss {
-            Some((p, rng)) => {
-                let p = *p;
-                rng.gen_bool(p)
+    /// The active fault injector, if any (for inspecting drop/dup counts).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Pass one send attempt through the fault layer and schedule the
+    /// surviving copies. `at` is the send time (the current virtual time
+    /// for injections, the handling delivery's time for handler sends).
+    fn transmit(&mut self, at: SimTime, from: usize, to: usize, msg: M) {
+        assert!(to < self.nodes.len(), "destination {to} out of range");
+        let action = match &mut self.faults {
+            Some(inj) => inj.on_send(from, to, at),
+            None => FaultAction::Deliver(vec![0]),
+        };
+        match action {
+            FaultAction::Drop => {
+                self.stats.sent += 1;
+                self.stats.dropped += 1;
             }
-            None => false,
+            FaultAction::Deliver(extras) => {
+                for extra in extras {
+                    self.stats.sent += 1;
+                    self.stats.queued += 1;
+                    self.stats.bytes += self.metered(&msg);
+                    let lat = self.latency.latency(from, to);
+                    self.queue.schedule(at + lat + extra, from, to, msg.clone());
+                }
+            }
         }
     }
 
@@ -157,15 +201,7 @@ impl<M, L: LatencyModel> SimNet<M, L> {
     /// # Panics
     /// Panics if `to` is out of range.
     pub fn inject(&mut self, from: usize, to: usize, msg: M) {
-        assert!(to < self.nodes.len(), "destination {to} out of range");
-        if self.drops() {
-            self.stats.dropped += 1;
-            return;
-        }
-        self.stats.bytes += self.metered(&msg);
-        let lat = self.latency.latency(from, to);
-        self.queue.schedule(self.now + lat, from, to, msg);
-        self.stats.sent += 1;
+        self.transmit(self.now, from, to, msg);
     }
 
     /// Deliver a single message; returns false when the queue is empty.
@@ -178,7 +214,17 @@ impl<M, L: LatencyModel> SimNet<M, L> {
         };
         debug_assert!(at >= self.now, "time ran backwards");
         self.now = at;
+        // A message in flight when its destination crashed is lost on
+        // arrival (the send-time check only sees crashes already past).
+        if let Some(inj) = &self.faults {
+            if inj.is_crashed(to, at) {
+                self.stats.queued -= 1;
+                self.stats.dropped += 1;
+                return true;
+            }
+        }
         self.stats.delivered += 1;
+        self.stats.queued -= 1;
         self.stats.end_time = at;
         let mut outbox: Vec<(usize, M)> = Vec::new();
         {
@@ -186,15 +232,7 @@ impl<M, L: LatencyModel> SimNet<M, L> {
             self.nodes[to].on_message(&mut ctx, from, msg);
         }
         for (dest, m) in outbox {
-            assert!(dest < self.nodes.len(), "destination {dest} out of range");
-            if self.drops() {
-                self.stats.dropped += 1;
-                continue;
-            }
-            self.stats.bytes += self.metered(&m);
-            let lat = self.latency.latency(to, dest);
-            self.queue.schedule(at + lat, to, dest, m);
-            self.stats.sent += 1;
+            self.transmit(at, to, dest, m);
         }
         true
     }
@@ -336,8 +374,10 @@ mod tests {
         net.set_loss(1.0, 1); // drop everything
         net.inject(0, 0, 5);
         assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().sent, 1, "a dropped attempt still counts");
         assert_eq!(net.run(100), 0);
         assert_eq!(net.stats().delivered, 0);
+        assert!(net.stats().is_conserved());
     }
 
     #[test]
@@ -351,7 +391,78 @@ mod tests {
         let s = net.stats();
         assert!(s.dropped > 0, "some messages must drop at 30% loss");
         assert!(s.delivered > 0, "some messages must get through");
-        assert_eq!(s.sent, s.delivered, "queue drained");
+        assert_eq!(s.queued, 0, "queue drained");
+        assert_eq!(s.sent, s.delivered + s.dropped);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        net.set_faults(FaultPlan::none().with_duplicate(1.0), 3);
+        net.inject(0, 0, 0); // payload 0: delivered, no relay
+        net.run(u64::MAX);
+        let s = net.stats();
+        assert_eq!(s.delivered, 2, "one injection, two copies");
+        assert_eq!(s.sent, 2);
+        assert!(s.is_conserved());
+        assert_eq!(net.fault_injector().unwrap().duplicated(), 1);
+    }
+
+    #[test]
+    fn crashed_destination_loses_in_flight_messages() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        // Node 1 crashes at t=15; constant latency is 10, so a message
+        // sent at t=10 (in flight at the crash) is lost on arrival.
+        net.set_faults(FaultPlan::none().with_crash(1, 15), 1);
+        net.inject(0, 0, 3); // 0 relays 2 to node 1 at t=10, arriving t=20
+        net.run(u64::MAX);
+        let s = net.stats();
+        assert!(s.dropped >= 1, "in-flight message to crashed node lost");
+        assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn pause_window_defers_delivery() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        net.set_faults(FaultPlan::none().with_pause(0, 0, 500), 1);
+        net.inject(1, 0, 0);
+        net.run(u64::MAX);
+        // Latency 10 + deferred to the pause end (500).
+        assert!(
+            net.now() >= 500,
+            "delivery at {} ignored the pause",
+            net.now()
+        );
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn mixed_fault_plan_conserves_accounting() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none()
+            .with_drop(0.2)
+            .with_duplicate(0.2)
+            .with_delay(0.3, 5, 50)
+            .with_crash(1, 400);
+        let mut net = relay_net(3);
+        net.set_faults(plan, 77);
+        for i in 0..40 {
+            net.inject(0, i % 3, 6);
+        }
+        net.run(u64::MAX);
+        let s = net.stats();
+        assert_eq!(s.queued, 0);
+        assert!(
+            s.is_conserved(),
+            "sent {} != delivered {} + dropped {}",
+            s.sent,
+            s.delivered,
+            s.dropped
+        );
+        assert!(s.dropped > 0 && s.delivered > 0);
     }
 
     #[test]
@@ -368,7 +479,10 @@ mod tests {
         net.inject(0, 1, 0);
         assert_eq!(net.stats().sent, 2);
         assert_eq!(net.stats().delivered, 0);
+        assert_eq!(net.stats().queued, 2);
+        assert!(net.stats().is_conserved());
         net.run(u64::MAX);
         assert_eq!(net.stats().delivered, 3); // two injected + one relay
+        assert_eq!(net.stats().queued, 0);
     }
 }

@@ -8,6 +8,7 @@
 //! down. Delivery counts are tracked with `parking_lot`-guarded state so a
 //! test can assert quiescence.
 
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::sim::{Node, NodeCtx};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -29,6 +30,7 @@ enum Envelope<M> {
 struct NetCounters {
     sent: AtomicU64,
     delivered: AtomicU64,
+    dropped: AtomicU64,
 }
 
 /// A running threaded network.
@@ -36,13 +38,82 @@ pub struct ThreadedNet<M: Send + 'static> {
     senders: Vec<Sender<Envelope<M>>>,
     handles: Vec<JoinHandle<Box<dyn Node<M> + Send>>>,
     counters: Arc<NetCounters>,
+    faults: Option<Arc<Mutex<FaultInjector>>>,
 }
 
-impl<M: Send + 'static> ThreadedNet<M> {
+/// Pass one send attempt through the (optional, shared) fault layer and
+/// push the surviving copies into the destination mailbox. Every attempt
+/// is accounted exactly once: `sent == delivered + dropped` at quiescence.
+fn faulty_send<M: Clone + Send>(
+    senders: &[Sender<Envelope<M>>],
+    counters: &NetCounters,
+    faults: &Option<Arc<Mutex<FaultInjector>>>,
+    now: u64,
+    from: usize,
+    to: usize,
+    msg: M,
+) {
+    let action = match faults {
+        Some(inj) => inj.lock().on_send(from, to, now),
+        None => FaultAction::Deliver(vec![0]),
+    };
+    match action {
+        FaultAction::Drop => {
+            counters.sent.fetch_add(1, Ordering::Relaxed);
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        FaultAction::Deliver(extras) => {
+            // Extra delay has no wall-clock meaning here; each entry still
+            // yields one copy, so duplication behaves identically to the
+            // simulator.
+            for _ in extras {
+                counters.sent.fetch_add(1, Ordering::Relaxed);
+                // A send can only fail if the peer already stopped; drop
+                // the message like a dead TCP connection would.
+                if senders[to]
+                    .send(Envelope::Msg {
+                        from,
+                        msg: msg.clone(),
+                    })
+                    .is_err()
+                {
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> ThreadedNet<M> {
     /// Spawn one thread per node. Each thread loops on its mailbox,
     /// dispatching messages to the node's `on_message` with a context whose
     /// sends go straight into the other peers' mailboxes.
     pub fn spawn(nodes: Vec<Box<dyn Node<M> + Send>>) -> ThreadedNet<M> {
+        Self::spawn_inner(nodes, None)
+    }
+
+    /// Like [`Self::spawn`], but every send passes through a shared
+    /// [`FaultInjector`] running `plan` — the same plans the deterministic
+    /// simulator takes via [`crate::sim::SimNet::set_faults`]. Times in
+    /// crash/pause windows are interpreted against the runtime's logical
+    /// clock (one tick per delivery).
+    pub fn spawn_with_faults(
+        nodes: Vec<Box<dyn Node<M> + Send>>,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> ThreadedNet<M> {
+        let injector = if plan.is_benign() {
+            None
+        } else {
+            Some(Arc::new(Mutex::new(FaultInjector::new(plan, seed))))
+        };
+        Self::spawn_inner(nodes, injector)
+    }
+
+    fn spawn_inner(
+        nodes: Vec<Box<dyn Node<M> + Send>>,
+        faults: Option<Arc<Mutex<FaultInjector>>>,
+    ) -> ThreadedNet<M> {
         let n = nodes.len();
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<Envelope<M>>> = Vec::with_capacity(n);
@@ -63,6 +134,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
                 let senders = senders.clone();
                 let counters = counters.clone();
                 let clock = clock.clone();
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("peer-{me}"))
                     .spawn(move || {
@@ -70,20 +142,23 @@ impl<M: Send + 'static> ThreadedNet<M> {
                             match env {
                                 Envelope::Stop => break,
                                 Envelope::Msg { from, msg } => {
-                                    counters.delivered.fetch_add(1, Ordering::Relaxed);
                                     let now = clock.fetch_add(1, Ordering::Relaxed);
+                                    // A crashed node stops processing; its
+                                    // backlog is lost, not handled.
+                                    if let Some(inj) = &faults {
+                                        if inj.lock().is_crashed(me, now) {
+                                            counters.dropped.fetch_add(1, Ordering::Relaxed);
+                                            continue;
+                                        }
+                                    }
+                                    counters.delivered.fetch_add(1, Ordering::Relaxed);
                                     let mut outbox = Vec::new();
                                     {
                                         let mut ctx = NodeCtx::for_runtime(me, now, &mut outbox);
                                         node.on_message(&mut ctx, from, msg);
                                     }
                                     for (to, m) in outbox {
-                                        counters.sent.fetch_add(1, Ordering::Relaxed);
-                                        // A send can only fail if the peer
-                                        // already stopped; drop the message
-                                        // like a dead TCP connection would.
-                                        let _ =
-                                            senders[to].send(Envelope::Msg { from: me, msg: m });
+                                        faulty_send(&senders, &counters, &faults, now, me, to, m);
                                     }
                                 }
                             }
@@ -97,6 +172,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
             senders,
             handles,
             counters,
+            faults,
         }
     }
 
@@ -115,24 +191,31 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// # Panics
     /// Panics if `to` is out of range.
     pub fn inject(&self, from: usize, to: usize, msg: M) {
-        self.counters.sent.fetch_add(1, Ordering::Relaxed);
-        self.senders[to]
-            .send(Envelope::Msg { from, msg })
-            .expect("peer thread exited before shutdown");
+        faulty_send(
+            &self.senders,
+            &self.counters,
+            &self.faults,
+            0,
+            from,
+            to,
+            msg,
+        );
     }
 
-    /// Block until every sent message has been delivered and no handler is
-    /// mid-flight (counters equal and stable). Returns false on timeout.
+    /// Block until every sent message is accounted for — delivered or
+    /// dropped by the fault layer — and no handler is mid-flight (counters
+    /// balanced and stable). Returns false on timeout.
     pub fn await_quiescence(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut last = (u64::MAX, u64::MAX);
+        let mut last = (u64::MAX, u64::MAX, u64::MAX);
         loop {
             let sent = self.counters.sent.load(Ordering::SeqCst);
             let delivered = self.counters.delivered.load(Ordering::SeqCst);
-            if sent == delivered && (sent, delivered) == last {
+            let dropped = self.counters.dropped.load(Ordering::SeqCst);
+            if sent == delivered + dropped && (sent, delivered, dropped) == last {
                 return true;
             }
-            last = (sent, delivered);
+            last = (sent, delivered, dropped);
             if std::time::Instant::now() > deadline {
                 return false;
             }
@@ -154,6 +237,16 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// Messages delivered so far.
     pub fn delivered(&self) -> u64 {
         self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by the fault layer so far.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Send attempts so far (delivered + dropped at quiescence).
+    pub fn sent(&self) -> u64 {
+        self.counters.sent.load(Ordering::Relaxed)
     }
 }
 
@@ -225,6 +318,43 @@ mod tests {
         let net = ThreadedNet::spawn(boxed(3));
         assert_eq!(net.len(), 3);
         assert!(!net.is_empty());
+        net.shutdown();
+    }
+
+    #[test]
+    fn quiescence_terminates_under_drops() {
+        let net = ThreadedNet::spawn_with_faults(boxed(4), FaultPlan::none().with_drop(0.5), 11);
+        for i in 0..40u32 {
+            net.inject(0, (i % 4) as usize, 20);
+        }
+        assert!(
+            net.await_quiescence(std::time::Duration::from_secs(10)),
+            "drops must not wedge quiescence detection"
+        );
+        assert!(net.dropped() > 0, "50% loss must fire");
+        assert_eq!(net.sent(), net.delivered() + net.dropped());
+        net.shutdown();
+    }
+
+    #[test]
+    fn full_drop_delivers_nothing() {
+        let net = ThreadedNet::spawn_with_faults(boxed(2), FaultPlan::none().with_drop(1.0), 1);
+        for _ in 0..10 {
+            net.inject(0, 1, 5);
+        }
+        assert!(net.await_quiescence(std::time::Duration::from_secs(5)));
+        assert_eq!(net.delivered(), 0);
+        assert_eq!(net.dropped(), 10);
+        net.shutdown();
+    }
+
+    #[test]
+    fn duplication_inflates_delivery_count() {
+        let net =
+            ThreadedNet::spawn_with_faults(boxed(2), FaultPlan::none().with_duplicate(1.0), 2);
+        net.inject(0, 1, 0); // terminal payload: no relays
+        assert!(net.await_quiescence(std::time::Duration::from_secs(5)));
+        assert_eq!(net.delivered(), 2);
         net.shutdown();
     }
 }

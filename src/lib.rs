@@ -58,12 +58,14 @@ pub mod prelude {
     pub use ars_chord::{DynamicNetwork, Id, Ring};
     pub use ars_common::{DetRng, Histogram, Summary};
     pub use ars_core::{
-        DataNetwork, MatchMeasure, ProtoNetwork, QueryOutcome, RangeSelectNetwork, SystemConfig,
+        ChurnNetwork, DataNetwork, MatchMeasure, ProtoNetwork, QueryOutcome, RangeSelectNetwork,
+        ResilienceStats, RetryPolicy, SystemConfig,
     };
     pub use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
     pub use ars_relation::{
         execute, parse_query, HorizontalPartition, LogicalPlan, Planner, Predicate, Relation,
         Schema, Value,
     };
+    pub use ars_simnet::{FaultInjector, FaultPlan, SimNet, ThreadedNet};
     pub use ars_workload::{clustered_trace, uniform_trace, zipf_trace, Trace};
 }
