@@ -9,6 +9,7 @@
 
 use crate::id::{Id, ID_BITS};
 use ars_common::FxHashMap;
+use ars_telemetry::Telemetry;
 use std::collections::BTreeSet;
 
 /// Errors surfaced by the dynamic protocol.
@@ -90,6 +91,8 @@ pub struct DynamicNetwork {
     /// efficient true-successor queries. Maintained on join/leave.
     alive: BTreeSet<u32>,
     succ_list_len: usize,
+    /// Instrumentation sink (defaults to no-op; see `ars-telemetry`).
+    telemetry: Telemetry,
 }
 
 impl DynamicNetwork {
@@ -109,7 +112,20 @@ impl DynamicNetwork {
             nodes,
             alive,
             succ_list_len,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Install a telemetry sink (share the handle to aggregate across
+    /// layers). Lookups emit `chord.*` counters and histograms; resilient
+    /// lookups additionally emit one `chord.lookup_resilient` event each.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (no-op by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of alive nodes.
@@ -323,6 +339,27 @@ impl DynamicNetwork {
     /// Tolerates stale fingers by skipping dead next-hops; fails only if a
     /// node has no alive pointer toward the key.
     pub fn lookup(&self, from: Id, key: Id) -> Result<(Id, usize), ChordError> {
+        let mut touches = 0usize;
+        let result = self.lookup_impl(from, key, &mut touches);
+        self.telemetry.counter_add("chord.lookups", 1);
+        self.telemetry
+            .counter_add("chord.finger_touches", touches as u64);
+        match &result {
+            Ok((_, hops)) => {
+                self.telemetry.counter_add("chord.hops", *hops as u64);
+                self.telemetry.record("chord.lookup.hops", *hops as u64);
+            }
+            Err(_) => self.telemetry.counter_add("chord.lookup_failures", 1),
+        }
+        result
+    }
+
+    fn lookup_impl(
+        &self,
+        from: Id,
+        key: Id,
+        touches: &mut usize,
+    ) -> Result<(Id, usize), ChordError> {
         let mut current = from;
         let mut hops = 0usize;
         let mut visited = 0usize;
@@ -344,6 +381,7 @@ impl DynamicNetwork {
                 .copied()
                 .chain(state.successors.iter().copied())
             {
+                *touches += 1;
                 if self.is_alive(f) && f.in_open(current, key) {
                     // Farthest strictly-preceding pointer wins.
                     next = Some(match next {
@@ -385,6 +423,45 @@ impl DynamicNetwork {
         key: Id,
         hop_budget: usize,
     ) -> Result<(Id, usize), ChordError> {
+        let mut backtracks = 0usize;
+        let mut hops_used = 0usize;
+        let result =
+            self.lookup_resilient_impl(from, key, hop_budget, &mut hops_used, &mut backtracks);
+        self.telemetry.counter_add("chord.resilient.lookups", 1);
+        self.telemetry
+            .counter_add("chord.resilient.hops", hops_used as u64);
+        self.telemetry
+            .counter_add("chord.resilient.backtracks", backtracks as u64);
+        let (ok, hops) = match &result {
+            Ok((_, hops)) => {
+                self.telemetry
+                    .record("chord.resilient.lookup.hops", *hops as u64);
+                (true, *hops)
+            }
+            Err(_) => {
+                self.telemetry.counter_add("chord.resilient.failures", 1);
+                (false, hops_used)
+            }
+        };
+        self.telemetry.event(
+            "chord.lookup_resilient",
+            &[
+                ("hops", hops.into()),
+                ("backtracks", backtracks.into()),
+                ("ok", ok.into()),
+            ],
+        );
+        result
+    }
+
+    fn lookup_resilient_impl(
+        &self,
+        from: Id,
+        key: Id,
+        hop_budget: usize,
+        hops_used: &mut usize,
+        backtracks: &mut usize,
+    ) -> Result<(Id, usize), ChordError> {
         self.node(from)?;
         let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
         // DFS stack: (candidates out of a node, index of the next to try).
@@ -417,10 +494,12 @@ impl DynamicNetwork {
                         return Err(ChordError::RoutingFailed { from, key });
                     }
                     hops += 1;
+                    *hops_used = hops;
                     current = c;
                     break;
                 }
                 stack.pop();
+                *backtracks += 1;
             }
         }
     }
@@ -703,6 +782,33 @@ mod tests {
             Err(ChordError::RoutingFailed { .. }) => {}
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn telemetry_counts_lookups_and_emits_resilient_events() {
+        let mut net = grow_network(20, 7);
+        let tel = ars_telemetry::Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            net.lookup(from, key).unwrap();
+            net.lookup_resilient(from, key, 64).unwrap();
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("chord.lookups"), 10);
+        assert_eq!(snap.counter("chord.lookup_failures"), 0);
+        assert_eq!(snap.counter("chord.resilient.lookups"), 10);
+        assert!(snap.counter("chord.finger_touches") > 0);
+        assert_eq!(snap.hist("chord.lookup.hops").unwrap().count, 10);
+        // Healthy converged ring: the DFS never backtracks.
+        assert_eq!(snap.counter("chord.resilient.backtracks"), 0);
+        let events = tel.events_named("chord.lookup_resilient");
+        assert_eq!(events.len(), 10);
+        assert!(events.iter().all(|e| e.field_bool("ok") == Some(true)));
+        assert!(events.iter().all(|e| e.field_u64("backtracks") == Some(0)));
     }
 
     #[test]

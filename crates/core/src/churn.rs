@@ -30,6 +30,7 @@ use ars_chord::dynamic::ChordError;
 use ars_chord::{DynamicNetwork, Id};
 use ars_common::{DetRng, FxHashMap};
 use ars_lsh::{HashGroups, RangeSet};
+use ars_telemetry::Telemetry;
 
 /// The paper's system over a dynamic (churning) Chord network.
 pub struct ChurnNetwork {
@@ -43,6 +44,7 @@ pub struct ChurnNetwork {
     /// Probability that any single lookup attempt is lost in flight
     /// (request or reply dropped), exercising the retry path. 0 = clean.
     lookup_loss: f64,
+    telemetry: Telemetry,
 }
 
 impl ChurnNetwork {
@@ -100,7 +102,23 @@ impl ChurnNetwork {
             retry: RetryPolicy::default(),
             resilience: ResilienceStats::default(),
             lookup_loss: 0.0,
+            telemetry: Telemetry::noop(),
         })
+    }
+
+    /// Install a telemetry sink, shared with the underlying Chord network
+    /// so `chord.*` lookup metrics and `resilient.*` retry metrics land in
+    /// one recorder. Resilient queries open a `core.query` span
+    /// (`path="resilient"`); retries emit `resilient.retry` events;
+    /// re-replication emits one `replica.store` event per copy written.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.chord.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (no-op by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Simulate message loss on the lookup path: each attempt (request or
@@ -306,7 +324,14 @@ impl ChurnNetwork {
         for (ident, range) in pairs {
             for owner in self.replica_owners(ident) {
                 if let Some(peer) = self.storage.get_mut(&owner.0) {
-                    restored += peer.store(ident, range.clone()) as usize;
+                    if peer.store(ident, range.clone()) {
+                        restored += 1;
+                        self.telemetry.counter_add("replica.stores", 1);
+                        self.telemetry.event(
+                            "replica.store",
+                            &[("ident", ident.into()), ("node", owner.0.into())],
+                        );
+                    }
                 }
             }
         }
@@ -329,8 +354,10 @@ impl ChurnNetwork {
         for attempt in 1..=policy.attempts {
             spent = attempt;
             self.resilience.lookups_attempted += 1;
+            self.telemetry.counter_add("resilient.attempts", 1);
             if attempt > 1 {
                 self.resilience.retries += 1;
+                self.telemetry.counter_add("resilient.retries", 1);
             }
             let lost = self.lookup_loss > 0.0 && self.rng.gen_bool(self.lookup_loss);
             let result = if lost {
@@ -344,12 +371,18 @@ impl ChurnNetwork {
                 self.chord.lookup_resilient(origin, key, policy.hop_budget)
             };
             if let Ok((owner, hops)) = result {
+                self.telemetry.counter_add("resilient.successes", 1);
                 return Ok((owner, hops, attempt));
             }
             if attempt < policy.attempts {
                 let delay = policy.backoff(attempt as u32, &mut self.rng);
                 elapsed += delay;
                 self.resilience.backoff_time += delay;
+                self.telemetry.counter_add("resilient.backoff_spent", delay);
+                self.telemetry.event(
+                    "resilient.retry",
+                    &[("attempt", attempt.into()), ("backoff", delay.into())],
+                );
                 if elapsed > policy.timeout_budget {
                     break;
                 }
@@ -357,6 +390,7 @@ impl ChurnNetwork {
             }
         }
         self.resilience.lookups_failed += 1;
+        self.telemetry.counter_add("resilient.failures", 1);
         Err(spent)
     }
 
@@ -380,6 +414,14 @@ impl ChurnNetwork {
             q.clone()
         };
         let identifiers = self.groups.identifiers(&hashed_range);
+        self.telemetry.counter_add("resilient.queries", 1);
+        let span = self.telemetry.span(
+            "core.query",
+            &[
+                ("path", "resilient".into()),
+                ("l", identifiers.len().into()),
+            ],
+        );
         let origin = {
             let ids = self.chord.node_ids();
             ids[self.rng.gen_index(ids.len())]
@@ -425,6 +467,7 @@ impl ChurnNetwork {
         let fell_back_to_source = reached.is_empty();
         if fell_back_to_source {
             self.resilience.source_fallbacks += 1;
+            self.telemetry.counter_add("resilient.source_fallbacks", 1);
         }
 
         let exact = best
@@ -453,6 +496,17 @@ impl ChurnNetwork {
         let mut distinct = owners;
         distinct.sort_unstable();
         distinct.dedup();
+        self.telemetry.span_end(
+            span,
+            &[
+                ("matched", best_match.is_some().into()),
+                ("exact", exact.into()),
+                ("attempts", attempts_total.into()),
+                ("fallback", fell_back_to_source.into()),
+                ("similarity", similarity.into()),
+                ("recall", recall.into()),
+            ],
+        );
         QueryOutcome {
             query: q.clone(),
             best_match,
@@ -839,6 +893,63 @@ mod tests {
             net.resilience().retries + 50,
             "attempts = first tries + retries"
         );
+    }
+
+    #[test]
+    fn telemetry_attempt_ledger_balances_under_loss() {
+        let mut net = small_net(17);
+        let tel = Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        net.set_lookup_loss(0.3);
+        for i in 0..10u32 {
+            net.query_resilient(&r(i * 30, i * 30 + 40));
+        }
+        let snap = tel.snapshot();
+        // Per lookup: n attempts = 1 first try (success or failure) plus
+        // n−1 retries, so the counters balance exactly.
+        assert_eq!(
+            snap.counter("resilient.attempts"),
+            snap.counter("resilient.successes")
+                + snap.counter("resilient.failures")
+                + snap.counter("resilient.retries")
+        );
+        assert!(snap.counter("resilient.retries") > 0, "30% loss retries");
+        assert_eq!(snap.counter("resilient.queries"), 10);
+        // The registry mirrors ResilienceStats exactly.
+        assert_eq!(
+            snap.counter("resilient.attempts"),
+            net.resilience().lookups_attempted
+        );
+        assert_eq!(snap.counter("resilient.retries"), net.resilience().retries);
+        assert_eq!(
+            snap.counter("resilient.backoff_spent"),
+            net.resilience().backoff_time
+        );
+        // Chord lookups triggered by the query path share the sink.
+        assert!(snap.counter("chord.lookups") > 0);
+    }
+
+    #[test]
+    fn re_replication_emits_one_store_event_per_copy() {
+        let mut net =
+            ChurnNetwork::new(12, SystemConfig::default().with_seed(2).with_replication(2))
+                .unwrap();
+        net.query_resilient(&r(100, 200));
+        let out = net.query_resilient(&r(100, 200));
+        assert!(out.exact, "warm cache first");
+        let tel = Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let before = net.resilience().replicas_restored;
+        let primary = net.replica_owners(out.identifiers[0])[0];
+        net.fail(primary).unwrap(); // triggers re_replicate internally
+        let restored = net.resilience().replicas_restored - before;
+        assert!(restored > 0, "losing a primary must restore copies");
+        let events = tel.events_named("replica.store");
+        assert_eq!(events.len() as u64, restored);
+        assert_eq!(tel.snapshot().counter("replica.stores"), restored);
+        assert!(events
+            .iter()
+            .all(|e| e.field_u64("ident").is_some() && e.field_u64("node").is_some()));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::peer::Peer;
 use ars_chord::{Id, Ring};
 use ars_common::{DetRng, FxHashMap};
 use ars_lsh::{HashGroups, RangeSet};
+use ars_telemetry::Telemetry;
 
 /// The result of one range query.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +113,7 @@ pub struct RangeSelectNetwork {
     rng: DetRng,
     stats: NetworkStats,
     ident_cache: IdentifierCache,
+    telemetry: Telemetry,
 }
 
 impl RangeSelectNetwork {
@@ -157,7 +159,22 @@ impl RangeSelectNetwork {
             rng,
             stats: NetworkStats::default(),
             ident_cache: IdentifierCache::default(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Install a telemetry sink. Queries emit `core.*` counters
+    /// (`core.queries`, `core.ident_cache.hits`/`.misses`), histograms
+    /// (`core.lookup.hops`, `core.bucket.scan_len`, `core.query.jaccard`,
+    /// `core.query.recall` — the latter two ×1000 fixed point), and one
+    /// `core.query` event per query.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The installed telemetry handle (no-op by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in force.
@@ -250,9 +267,11 @@ impl RangeSelectNetwork {
     fn cached_identifiers(&mut self, hashed_range: &RangeSet) -> Vec<u32> {
         if let Some(ids) = self.ident_cache.map.get(hashed_range) {
             self.ident_cache.hits += 1;
+            self.telemetry.counter_add("core.ident_cache.hits", 1);
             return ids.clone();
         }
         self.ident_cache.misses += 1;
+        self.telemetry.counter_add("core.ident_cache.misses", 1);
         let ids = self.groups.identifiers(hashed_range);
         self.ident_cache
             .map
@@ -269,6 +288,9 @@ impl RangeSelectNetwork {
         hashed_range: RangeSet,
         identifiers: Vec<u32>,
     ) -> QueryOutcome {
+        let span = self
+            .telemetry
+            .span("core.query", &[("l", identifiers.len().into())]);
         // Pick a random origin peer for routing (hop accounting).
         let origin = {
             let ids = self.ring.node_ids();
@@ -290,10 +312,18 @@ impl RangeSelectNetwork {
             owners.push(owner);
             self.stats.lookups += 1;
             self.stats.total_hops += h as u64;
+            self.telemetry.record("core.lookup.hops", h as u64);
             let Some(peer) = self.peers.get(&owner.0) else {
                 continue;
             };
             reached += 1;
+            let scan_len = if self.config.use_local_index {
+                peer.partition_count()
+            } else {
+                peer.bucket(ident).map(|b| b.len()).unwrap_or(0)
+            };
+            self.telemetry
+                .record("core.bucket.scan_len", scan_len as u64);
             let candidate = if self.config.use_local_index {
                 peer.best_across_buckets(&hashed_range, self.config.matching)
             } else {
@@ -351,6 +381,26 @@ impl RangeSelectNetwork {
             self.stats.stored += 1;
         }
 
+        self.telemetry.counter_add("core.queries", 1);
+        if best_match.is_some() {
+            // ×1000 fixed point: histograms store u64.
+            self.telemetry
+                .record("core.query.jaccard", (similarity * 1000.0) as u64);
+            self.telemetry
+                .record("core.query.recall", (recall * 1000.0) as u64);
+        }
+        self.telemetry.span_end(
+            span,
+            &[
+                ("matched", best_match.is_some().into()),
+                ("exact", exact.into()),
+                ("stored", stored.into()),
+                ("similarity", similarity.into()),
+                ("recall", recall.into()),
+                ("fallback", (reached == 0).into()),
+            ],
+        );
+
         let attempts = identifiers.len();
         QueryOutcome {
             query: q.clone(),
@@ -407,8 +457,10 @@ impl RangeSelectNetwork {
             for h in &hashed {
                 if self.ident_cache.map.contains_key(h) || !seen.insert(h) {
                     self.ident_cache.hits += 1;
+                    self.telemetry.counter_add("core.ident_cache.hits", 1);
                 } else {
                     self.ident_cache.misses += 1;
+                    self.telemetry.counter_add("core.ident_cache.misses", 1);
                     todo.push(h);
                 }
             }
@@ -732,6 +784,33 @@ mod tests {
         }
         assert_eq!(out_seq, out_mixed);
         assert_eq!(seq.stats(), mixed.stats());
+    }
+
+    #[test]
+    fn telemetry_surfaces_cache_hit_rate_through_registry() {
+        let mut n = net(30);
+        let tel = ars_telemetry::Telemetry::recording();
+        n.set_telemetry(tel.clone());
+        let trace = batch_trace();
+        n.query_batch(&trace);
+        n.query_batch(&trace); // identical ranges: second pass is all hits
+        let snap = tel.snapshot();
+        let hits = snap.counter("core.ident_cache.hits");
+        let misses = snap.counter("core.ident_cache.misses");
+        assert!(hits > 0, "repeated batches must report a >0 hit rate");
+        assert!(hits > misses, "second identical batch hits on every range");
+        // The registry mirrors the cache's own counters exactly, and every
+        // query does exactly one cache lookup.
+        assert_eq!(hits, n.identifier_cache().hits());
+        assert_eq!(misses, n.identifier_cache().misses());
+        assert_eq!(hits + misses, snap.counter("core.queries"));
+        // Per-query spans were recorded for both batches.
+        let spans = tel
+            .events()
+            .iter()
+            .filter(|e| e.kind == ars_telemetry::EventKind::SpanStart && e.name == "core.query")
+            .count();
+        assert_eq!(spans, 2 * trace.len());
     }
 
     #[test]

@@ -39,6 +39,19 @@ impl SimStats {
     pub fn is_conserved(&self) -> bool {
         self.sent == self.delivered + self.dropped + self.queued
     }
+
+    /// Re-export the message ledger as `simnet.*` telemetry gauges, so a
+    /// recording sink's snapshot carries the transport picture alongside
+    /// the query-layer counters (and the conservation invariant can be
+    /// re-checked from the snapshot alone).
+    pub fn export_telemetry(&self, telemetry: &ars_telemetry::Telemetry) {
+        telemetry.gauge_set("simnet.sent", self.sent);
+        telemetry.gauge_set("simnet.delivered", self.delivered);
+        telemetry.gauge_set("simnet.dropped", self.dropped);
+        telemetry.gauge_set("simnet.queued", self.queued);
+        telemetry.gauge_set("simnet.bytes", self.bytes);
+        telemetry.gauge_set("simnet.end_time", self.end_time);
+    }
 }
 
 /// A wire meter: returns the on-wire size of a message.
@@ -193,6 +206,12 @@ impl<M: Clone, L: LatencyModel> SimNet<M, L> {
     /// Statistics so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Export the current message ledger as `simnet.*` gauges (see
+    /// [`SimStats::export_telemetry`]).
+    pub fn export_telemetry(&self, telemetry: &ars_telemetry::Telemetry) {
+        self.stats.export_telemetry(telemetry);
     }
 
     /// Inject a message from the outside world (e.g. a user query arriving

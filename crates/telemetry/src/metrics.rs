@@ -1,0 +1,252 @@
+//! The metric registry: counters, gauges, and log₂-bucketed histograms.
+//!
+//! All storage is `BTreeMap`-keyed by the metric's static name, so every
+//! snapshot and export lists metrics in a stable (lexicographic) order —
+//! part of the seed-stability contract of the recording sink.
+
+use std::collections::BTreeMap;
+
+/// Number of log₂ buckets in a [`Hist`]: bucket `i` counts values whose
+/// bit length is `i` (bucket 0 holds the value 0), so `u64::MAX` lands in
+/// bucket 64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with log₂ buckets plus exact
+/// count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index of a value: its bit length (0 for the value 0).
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Hist {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// The mutable metric store inside a recording sink.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+}
+
+impl Registry {
+    /// Add `delta` to the monotonic counter `name` (created at 0).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record `value` into the histogram `name` (created empty).
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.hists.entry(name).or_default().record(value);
+    }
+
+    /// Freeze the registry into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reset all metrics (the recording sink's `reset`).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+/// An immutable, stably-ordered view of every metric at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 when the counter never moved).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if any sample was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// All counters, lexicographic by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, lexicographic by name.
+    pub fn gauges(&self) -> &BTreeMap<String, u64> {
+        &self.gauges
+    }
+
+    /// All histograms, lexicographic by name.
+    pub fn hists(&self) -> &BTreeMap<String, Hist> {
+        &self.hists
+    }
+
+    /// True when no metric of any kind was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut r = Registry::default();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.counter_add("b", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 1);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let mut r = Registry::default();
+        r.gauge_set("g", 10);
+        r.gauge_set("g", 7);
+        assert_eq!(r.snapshot().gauge("g"), Some(7));
+        assert_eq!(r.snapshot().gauge("missing"), None);
+    }
+
+    #[test]
+    fn hist_tracks_shape() {
+        let mut r = Registry::default();
+        for v in [0u64, 1, 2, 3, 1000] {
+            r.record("h", v);
+        }
+        let s = r.snapshot();
+        let h = s.hist("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        // 0 → bucket 0, 1 → 1, 2..3 → 2, 1000 → 10.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_hist_mean_is_zero() {
+        assert_eq!(Hist::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut r = Registry::default();
+        r.counter_add("a", 1);
+        r.gauge_set("g", 1);
+        r.record("h", 1);
+        assert!(!r.snapshot().is_empty());
+        r.clear();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_order_is_lexicographic() {
+        let mut r = Registry::default();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        r.counter_add("m", 1);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.counters().keys().collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+}

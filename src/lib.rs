@@ -19,6 +19,7 @@
 //! | [`core`] | `ars-core` | the paper's system: buckets, peers, query protocol, padding, recall |
 //! | [`workload`] | `ars-workload` | §5.1 uniform trace, Zipf/clustered variants, size sweeps |
 //! | [`common`] | `ars-common` | deterministic RNG, fast hashing, statistics, CSV |
+//! | [`telemetry`] | `ars-telemetry` | deterministic counters/histograms/spans, JSON trace export |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use ars_core as core;
 pub use ars_lsh as lsh;
 pub use ars_relation as relation;
 pub use ars_simnet as simnet;
+pub use ars_telemetry as telemetry;
 pub use ars_workload as workload;
 
 /// The commonly-used types in one import.
@@ -67,5 +69,6 @@ pub mod prelude {
         Schema, Value,
     };
     pub use ars_simnet::{FaultInjector, FaultPlan, SimNet, ThreadedNet};
+    pub use ars_telemetry::{MetricsSnapshot, SpanId, Telemetry, TelemetryEvent};
     pub use ars_workload::{clustered_trace, uniform_trace, zipf_trace, Trace};
 }

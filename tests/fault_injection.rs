@@ -329,6 +329,43 @@ fn replicated_recall_survives_ten_percent_failures() {
     );
 }
 
+// ---------------------------------------------------------------------
+// 5. Trace artifact: a faulted run under a recording sink exports a
+//    well-formed JSON trace; when `ARS_TRACE_OUT` is set (CI does this)
+//    the trace is also written there for artifact upload.
+// ---------------------------------------------------------------------
+
+#[test]
+fn faulted_run_exports_json_trace_artifact() {
+    let seed = fault_seed();
+    let config = SystemConfig::default()
+        .with_kl(8, 2)
+        .with_replication(2)
+        .with_seed(seed);
+    let mut net = ChurnNetwork::new(16, config).expect("growth converges");
+    let tel = ars::telemetry::Telemetry::recording();
+    net.set_telemetry(tel.clone());
+    net.fail_random(3);
+    net.set_lookup_loss(0.25);
+    for q in trace(10) {
+        net.query_resilient(&q);
+    }
+    let json = tel.to_json();
+    // Spot-check the trace is substantive, not an empty shell: the
+    // metric vocabulary is present and the ledger made it out intact.
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"resilient.queries\":10"));
+    assert!(json.contains("\"resilient.attempts\""));
+    assert!(json.contains("\"core.query\""));
+    assert!(json.contains("\"events\":["));
+    let stats = net.resilience();
+    assert!(json.contains(&format!("\"resilient.retries\":{}", stats.retries)));
+    if let Ok(path) = std::env::var("ARS_TRACE_OUT") {
+        std::fs::write(&path, &json)
+            .unwrap_or_else(|e| panic!("writing trace artifact to {path}: {e}"));
+    }
+}
+
 #[test]
 fn unreplicated_failures_demonstrably_lose_buckets() {
     let seed = fault_seed();
