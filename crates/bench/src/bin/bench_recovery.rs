@@ -1,0 +1,303 @@
+//! Recovery benchmark: durable-log replay cost and anti-entropy repair
+//! convergence, written to `BENCH_recovery.json` at the repo root.
+//!
+//! Two parts:
+//!
+//! * **Replay cost** — a single [`BucketStore`] is filled to various log
+//!   lengths, crashed, and recovered, measuring recovery wall time,
+//!   recovered entries, and on-disk bytes; with compaction off and on
+//!   (checkpoints bound the log the replay has to walk).
+//! * **Repair convergence** — a 50-peer [`ChurnNetwork`] at replication
+//!   r ∈ {1, 2, 3} with faulted durable stores warms a query trace,
+//!   crashes a fraction of the ring, restarts every crashed peer, and
+//!   runs the digest-exchange repair loop to quiescence — measuring
+//!   convergence rounds, entries re-replicated, entries recovered from
+//!   disk, and post-repair recall.
+//!
+//! The runs use a single hash group (`l = 1`) so each partition exists at
+//! exactly one identifier — the same choice as `bench_faults`, so the
+//! replication factor is the only source of redundancy and the r = 1
+//! contrast is honest.
+//!
+//! Headlines asserted in-binary:
+//! * r ≥ 2 post-repair recall is exactly 1.0 at up to 20% crashed;
+//! * r = 1 under hostile storage faults (every crash flips a tail bit)
+//!   loses recall for good;
+//! * repair converges within a bounded number of budgeted rounds.
+//!
+//! The seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep seeds.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_recovery`
+
+use ars_core::{ChurnNetwork, DurabilityConfig, MatchMeasure, SystemConfig};
+use ars_lsh::RangeSet;
+use ars_store::{BucketStore, StorageFaults, StoreConfig};
+
+const N_PEERS: usize = 50;
+const N_QUERIES: usize = 40;
+const CRASH_RATES: [f64; 3] = [0.10, 0.20, 0.30];
+const REPLICATION: [usize; 3] = [1, 2, 3];
+const REPAIR_BUDGET: usize = 100;
+const MAX_ROUNDS: usize = 1_000;
+const LOG_LENGTHS: [usize; 4] = [256, 1_024, 4_096, 16_384];
+
+fn fault_seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Part 1: recovery time vs log length.
+// ---------------------------------------------------------------------
+
+struct ReplayCell {
+    ops: usize,
+    compact_every: usize,
+    log_bytes: usize,
+    recovered_entries: usize,
+    recover_micros: u128,
+}
+
+fn replay_cell(ops: usize, compact_every: usize, seed: u64) -> ReplayCell {
+    let config = StoreConfig::default().with_compact_every(compact_every);
+    let mut store = BucketStore::new(config, seed ^ ops as u64);
+    for i in 0..ops {
+        store.place(i as u32, &(i as u64).to_le_bytes());
+    }
+    let log_bytes = store.log_len();
+    store.crash();
+    let start = std::time::Instant::now();
+    let report = store.recover();
+    let recover_micros = start.elapsed().as_micros();
+    assert_eq!(report.entries.len(), ops, "perfect disk replays everything");
+    ReplayCell {
+        ops,
+        compact_every,
+        log_bytes,
+        recovered_entries: report.entries.len(),
+        recover_micros,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 2: repair convergence vs crash rate at r ∈ {1, 2, 3}.
+// ---------------------------------------------------------------------
+
+struct RepairCell {
+    crash_rate: f64,
+    replication: usize,
+    bit_flip_p: f64,
+    recall: f64,
+    recovered: u64,
+    repair_rounds: usize,
+    repair_entries_sent: u64,
+    buckets_lost: u64,
+}
+
+fn trace() -> Vec<RangeSet> {
+    (0..N_QUERIES as u32)
+        .map(|i| {
+            let lo = i * 523 % 40_000;
+            RangeSet::interval(lo, lo + 60 + (i % 5) * 25)
+        })
+        .collect()
+}
+
+fn repair_cell(crash_rate: f64, replication: usize, bit_flip_p: f64, seed: u64) -> RepairCell {
+    let faults = StorageFaults::none()
+        .with_torn_write(0.4)
+        .with_bit_flip(bit_flip_p);
+    let config = SystemConfig::default()
+        .with_kl(16, 1)
+        .with_matching(MatchMeasure::Containment)
+        .with_replication(replication)
+        .with_seed(0x10_2003 ^ seed)
+        .with_durability(DurabilityConfig::default().with_faults(faults));
+    let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
+    let queries = trace();
+    for q in &queries {
+        net.query_resilient(q);
+    }
+
+    let victims = (crash_rate * N_PEERS as f64).round() as usize;
+    let downed = net.crash_random(victims);
+    for id in &downed {
+        net.restart(*id).expect("restart rejoins");
+    }
+    net.stabilize(256).expect("ring recovers");
+    let repair_rounds = net
+        .repair_until_quiescent(MAX_ROUNDS, REPAIR_BUDGET)
+        .expect("repair quiesces");
+
+    let recall: f64 = queries
+        .iter()
+        .map(|q| net.query_resilient(q).recall)
+        .sum::<f64>()
+        / N_QUERIES as f64;
+    let stats = net.resilience();
+    RepairCell {
+        crash_rate,
+        replication,
+        bit_flip_p,
+        recall,
+        recovered: stats.buckets_recovered,
+        repair_rounds,
+        repair_entries_sent: stats.repair_entries_sent,
+        buckets_lost: stats.buckets_lost,
+    }
+}
+
+fn main() {
+    let seed = fault_seed();
+    println!("# seed {seed} ({N_PEERS} peers, {N_QUERIES} queries, k=16 l=1)");
+
+    // Part 1.
+    println!(
+        "\n{:>8} {:>9} {:>10} {:>10} {:>12}",
+        "ops", "compact", "log_bytes", "entries", "recover_us"
+    );
+    let mut replay: Vec<ReplayCell> = Vec::new();
+    for &ops in &LOG_LENGTHS {
+        for compact_every in [0, 500] {
+            let c = replay_cell(ops, compact_every, seed);
+            println!(
+                "{:>8} {:>9} {:>10} {:>10} {:>12}",
+                c.ops, c.compact_every, c.log_bytes, c.recovered_entries, c.recover_micros
+            );
+            replay.push(c);
+        }
+    }
+    // Compaction bounds the live log: once the log is long enough for a
+    // checkpoint to have fired, the checkpointing store's op log is a
+    // fraction of the append-only one.
+    for &ops in &LOG_LENGTHS {
+        if ops <= 500 {
+            continue;
+        }
+        let plain = replay
+            .iter()
+            .find(|c| c.ops == ops && c.compact_every == 0)
+            .unwrap();
+        let compacted = replay
+            .iter()
+            .find(|c| c.ops == ops && c.compact_every == 500)
+            .unwrap();
+        assert!(
+            compacted.log_bytes < plain.log_bytes,
+            "compaction must bound the op log ({} vs {})",
+            compacted.log_bytes,
+            plain.log_bytes
+        );
+    }
+
+    // Part 2.
+    println!(
+        "\n{:>6} {:>3} {:>6} {:>8} {:>10} {:>8} {:>13} {:>6}",
+        "crash", "r", "flip", "recall", "recovered", "rounds", "entries_sent", "lost"
+    );
+    let mut cells: Vec<RepairCell> = Vec::new();
+    for &replication in &REPLICATION {
+        for &crash_rate in &CRASH_RATES {
+            let c = repair_cell(crash_rate, replication, 0.1, seed);
+            println!(
+                "{:>6.2} {:>3} {:>6.2} {:>8.3} {:>10} {:>8} {:>13} {:>6}",
+                c.crash_rate,
+                c.replication,
+                c.bit_flip_p,
+                c.recall,
+                c.recovered,
+                c.repair_rounds,
+                c.repair_entries_sent,
+                c.buckets_lost
+            );
+            cells.push(c);
+        }
+    }
+    // The hostile r = 1 contrast: every crash flips a bit in the log tail,
+    // and with one copy per partition the damage is unrepairable.
+    let hostile = repair_cell(0.20, 1, 1.0, seed);
+    println!(
+        "{:>6.2} {:>3} {:>6.2} {:>8.3} {:>10} {:>8} {:>13} {:>6}  (hostile)",
+        hostile.crash_rate,
+        hostile.replication,
+        hostile.bit_flip_p,
+        hostile.recall,
+        hostile.recovered,
+        hostile.repair_rounds,
+        hostile.repair_entries_sent,
+        hostile.buckets_lost
+    );
+
+    // Headlines.
+    for c in &cells {
+        if c.replication >= 2 && c.crash_rate <= 0.20 {
+            assert!(
+                c.recall >= 1.0,
+                "r={} at {:.0}% crash must repair to full recall, got {:.3}",
+                c.replication,
+                c.crash_rate * 100.0,
+                c.recall
+            );
+        }
+        assert!(
+            c.repair_rounds <= 64,
+            "repair took {} rounds at budget {REPAIR_BUDGET} — not converging",
+            c.repair_rounds
+        );
+        assert!(c.recovered > 0, "restarts must replay log entries");
+    }
+    assert!(
+        hostile.recall < 1.0,
+        "r=1 under guaranteed tail corruption must lose recall, got {:.3}",
+        hostile.recall
+    );
+
+    // JSON.
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"recovery\",\n  \"seed\": {seed},\n  \
+         \"peers\": {N_PEERS},\n  \"queries\": {N_QUERIES},\n  \
+         \"repair_budget\": {REPAIR_BUDGET},\n  \"replay\": [\n"
+    );
+    for (i, c) in replay.iter().enumerate() {
+        let sep = if i + 1 == replay.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"ops\": {}, \"compact_every\": {}, \"log_bytes\": {}, \
+             \"recovered_entries\": {}, \"recover_micros\": {}}}{sep}\n",
+            c.ops, c.compact_every, c.log_bytes, c.recovered_entries, c.recover_micros
+        ));
+    }
+    json.push_str("  ],\n  \"repair\": [\n");
+    let all: Vec<&RepairCell> = cells.iter().chain(std::iter::once(&hostile)).collect();
+    for (i, c) in all.iter().enumerate() {
+        let sep = if i + 1 == all.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"crash_rate\": {:.2}, \"replication\": {}, \"bit_flip_p\": {:.2}, \
+             \"recall\": {:.4}, \"recovered\": {}, \"repair_rounds\": {}, \
+             \"repair_entries_sent\": {}, \"buckets_lost\": {}}}{sep}\n",
+            c.crash_rate,
+            c.replication,
+            c.bit_flip_p,
+            c.recall,
+            c.recovered,
+            c.repair_rounds,
+            c.repair_entries_sent,
+            c.buckets_lost
+        ));
+    }
+    let r2_20 = cells
+        .iter()
+        .find(|c| c.replication == 2 && c.crash_rate == 0.20)
+        .unwrap();
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\n    \"recall_20pct_crash_r2_post_repair\": {:.4},\n    \
+         \"recall_20pct_crash_r1_hostile\": {:.4},\n    \
+         \"repair_rounds_20pct_crash_r2\": {}\n  }}\n}}\n",
+        r2_20.recall, hostile.recall, r2_20.repair_rounds
+    ));
+
+    let path = ars_bench::experiments::repo_root().join("BENCH_recovery.json");
+    std::fs::write(&path, json).expect("write BENCH_recovery.json");
+    println!("\nwrote {}", path.display());
+}

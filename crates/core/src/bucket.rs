@@ -64,6 +64,19 @@ impl Bucket {
     pub fn contains(&self, range: &RangeSet) -> bool {
         self.ranges.contains(range)
     }
+
+    /// Remove this exact range. Returns true if it was present — the
+    /// key-migration and durable-eviction paths need removal to be
+    /// observable so logs and ledgers stay exact.
+    pub fn remove(&mut self, range: &RangeSet) -> bool {
+        match self.ranges.iter().position(|r| r == range) {
+            Some(at) => {
+                self.ranges.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Score one candidate under a measure.

@@ -20,9 +20,22 @@
 //! failed lookups with deterministic backoff
 //! ([`crate::resilient::RetryPolicy`]) and degrades to source fetch
 //! instead of erroring.
+//!
+//! With [`SystemConfig::with_durability`] set, every peer additionally
+//! persists its bucket placements and evictions to a crash-faulted
+//! [`ars_store::BucketStore`], which splits the abrupt-departure story in
+//! two: [`ChurnNetwork::fail`] still models a machine that never returns
+//! (its disks are gone), while [`ChurnNetwork::crash`] parks the disks and
+//! [`ChurnNetwork::restart`] replays them — recovering every entry that
+//! survived the torn tail — before rejoining the ring. The
+//! [`ChurnNetwork::anti_entropy_round`] repair loop then exchanges
+//! per-bucket digests between replica owners and re-replicates only the
+//! missing entries, converging to the same state as the oracle
+//! [`ChurnNetwork::re_replicate`] sweep under a per-round budget.
 
 use crate::bucket::Match;
 use crate::config::{Placement, SystemConfig};
+use crate::durable::{decode_range, digest_bytes, encode_range};
 use crate::network::QueryOutcome;
 use crate::peer::Peer;
 use crate::resilient::{ResilienceStats, RetryPolicy};
@@ -30,13 +43,36 @@ use ars_chord::dynamic::ChordError;
 use ars_chord::{DynamicNetwork, Id};
 use ars_common::{DetRng, FxHashMap};
 use ars_lsh::{HashGroups, RangeSet};
+use ars_store::BucketStore;
 use ars_telemetry::Telemetry;
+
+/// One row of [`ChurnNetwork::inventory`]: a `(peer, identifier,
+/// intervals)` triple in the canonical comparison form.
+pub type InventoryEntry = (u32, u32, Vec<(u32, u32)>);
+
+/// What one [`ChurnNetwork::anti_entropy_round`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairRound {
+    /// Per-(peer, identifier, owner) digest comparisons performed.
+    pub digests_compared: u64,
+    /// Entries pushed to replica owners that were missing them.
+    pub entries_sent: u64,
+    /// True if the per-round budget cut the sweep short — another round
+    /// is needed before the network can be considered quiescent.
+    pub hit_budget: bool,
+}
 
 /// The paper's system over a dynamic (churning) Chord network.
 pub struct ChurnNetwork {
     config: SystemConfig,
     chord: DynamicNetwork,
     storage: FxHashMap<u32, Peer>,
+    /// Durable bucket stores of alive peers (empty unless
+    /// [`SystemConfig::with_durability`] is set).
+    logs: FxHashMap<u32, BucketStore>,
+    /// Parked disks of crashed-but-restartable peers. `None` values mark
+    /// peers crashed without durability (nothing to replay at restart).
+    crashed: FxHashMap<u32, Option<BucketStore>>,
     groups: HashGroups,
     rng: DetRng,
     retry: RetryPolicy,
@@ -93,10 +129,20 @@ impl ChurnNetwork {
             .ok_or(ChordError::NotConverged {
                 rounds: final_rounds,
             })?;
+        let mut logs = FxHashMap::default();
+        if config.durability.is_some() {
+            for &pid in storage.keys() {
+                if let Some(store) = Self::make_store(&config, pid) {
+                    logs.insert(pid, store);
+                }
+            }
+        }
         Ok(ChurnNetwork {
             config,
             chord,
             storage,
+            logs,
+            crashed: FxHashMap::default(),
             groups,
             rng,
             retry: RetryPolicy::default(),
@@ -176,13 +222,78 @@ impl ChurnNetwork {
         }
     }
 
-    /// Abruptly crash a peer: its cached partitions are lost. With a
-    /// replication factor above 1, surviving replicas are immediately
-    /// re-spread so the invariant (each partition at `r` alive successors)
-    /// holds again.
+    /// Fresh durable store for a peer, if durability is configured.
+    fn make_store(config: &SystemConfig, id: u32) -> Option<BucketStore> {
+        config
+            .durability
+            .as_ref()
+            .map(|d| BucketStore::new(d.store_config(), d.seed_for(config.seed, id)))
+    }
+
+    /// Store one partition copy at a peer — the single choke point every
+    /// placement path goes through (query caching, re-replication, repair,
+    /// leave handover, key migration), so the durable log and the
+    /// `placed == live + lost − recovered` ledger move in lockstep with
+    /// the in-memory state. Returns true if the copy was newly stored.
+    fn store_at(&mut self, owner: u32, identifier: u32, range: &RangeSet) -> bool {
+        let Some(peer) = self.storage.get_mut(&owner) else {
+            return false;
+        };
+        if !peer.store(identifier, range.clone()) {
+            return false;
+        }
+        self.resilience.buckets_placed += 1;
+        self.telemetry.counter_add("buckets.placed", 1);
+        if let Some(log) = self.logs.get_mut(&owner) {
+            log.place(identifier, &encode_range(range));
+            self.telemetry.counter_add("store.appended", 1);
+        }
+        true
+    }
+
+    /// Remove one partition copy from a peer — the eviction counterpart of
+    /// [`Self::store_at`] (key migration moves entries through both).
+    fn evict_at(&mut self, owner: u32, identifier: u32, range: &RangeSet) -> bool {
+        let Some(peer) = self.storage.get_mut(&owner) else {
+            return false;
+        };
+        if !peer.evict(identifier, range) {
+            return false;
+        }
+        self.lose_buckets(1);
+        if let Some(log) = self.logs.get_mut(&owner) {
+            log.evict(identifier, &encode_range(range));
+            self.telemetry.counter_add("store.appended", 1);
+        }
+        true
+    }
+
+    /// Account for live partition copies destroyed.
+    fn lose_buckets(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.resilience.buckets_lost += n;
+        self.telemetry.counter_add("buckets.lost", n);
+    }
+
+    /// Abruptly fail a peer *permanently*: the machine never returns, its
+    /// disks (durable or not) are gone, and its cached partitions are lost
+    /// — counted in [`ResilienceStats::buckets_lost`] and the
+    /// `buckets.lost` telemetry counter. With a replication factor above 1,
+    /// surviving replicas are immediately re-spread so the invariant (each
+    /// partition at `r` alive successors) holds again. Contrast with
+    /// [`Self::crash`], which parks the disks for a later
+    /// [`Self::restart`].
     pub fn fail(&mut self, id: Id) -> Result<(), ChordError> {
         self.chord.fail(id)?;
-        self.storage.remove(&id.0);
+        let lost = self
+            .storage
+            .remove(&id.0)
+            .map(|p| p.partition_count() as u64)
+            .unwrap_or(0);
+        self.lose_buckets(lost);
+        self.logs.remove(&id.0);
         self.re_replicate();
         Ok(())
     }
@@ -207,14 +318,19 @@ impl ChurnNetwork {
         self.chord.leave(id)?;
         if let Some(mut gone) = self.storage.remove(&id.0) {
             let handed = gone.drain();
-            let heir = self
-                .storage
-                .get_mut(&inheritor.0)
-                .expect("successor must be alive");
+            // The leaver's live copies are gone (its disks with them); the
+            // handover re-places them at the heir, so the ledger records a
+            // loss and a placement per copy that moved.
+            self.lose_buckets(handed.len() as u64);
+            assert!(
+                self.storage.contains_key(&inheritor.0),
+                "successor must be alive"
+            );
             for (ident, range) in handed {
-                heir.store(ident, range);
+                self.store_at(inheritor.0, ident, &range);
             }
         }
+        self.logs.remove(&id.0);
         self.re_replicate();
         Ok(())
     }
@@ -229,6 +345,9 @@ impl ChurnNetwork {
             let via = self.chord.node_ids()[0];
             self.chord.join(id, via)?;
             self.storage.insert(id.0, Peer::new(id));
+            if let Some(store) = Self::make_store(&self.config, id.0) {
+                self.logs.insert(id.0, store);
+            }
             self.chord.stabilize_all(32);
             self.re_replicate();
             return Ok(id);
@@ -254,28 +373,19 @@ impl ChurnNetwork {
             ids[(pos + ids.len() - 1) % ids.len()]
         };
         if succ != new {
-            let placement = self.config.placement;
-            let place = move |ident: u32| match placement {
-                Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&ident.to_be_bytes())),
-                Placement::Direct => Id(ident),
+            let moved: Vec<(u32, RangeSet)> = {
+                let donor = self.storage.get(&succ.0).expect("successor storage exists");
+                donor
+                    .entries()
+                    .filter(|(ident, _)| self.place(*ident).in_open_closed(pred, new))
+                    .map(|(ident, range)| (ident, range.clone()))
+                    .collect()
             };
-            let moved: Vec<(u32, ars_lsh::RangeSet)> = {
-                let donor = self
-                    .storage
-                    .get_mut(&succ.0)
-                    .expect("successor storage exists");
-                let all = donor.drain();
-                let (mine, theirs): (Vec<_>, Vec<_>) = all
-                    .into_iter()
-                    .partition(|(ident, _)| place(*ident).in_open_closed(pred, new));
-                for (ident, range) in theirs {
-                    donor.store(ident, range);
-                }
-                mine
-            };
-            let newcomer = self.storage.get_mut(&new.0).expect("new storage exists");
+            // Move each migrating entry through the evict/store choke
+            // points so both peers' durable logs record the transfer.
             for (ident, range) in moved {
-                newcomer.store(ident, range);
+                self.evict_at(succ.0, ident, &range);
+                self.store_at(new.0, ident, &range);
             }
         }
         self.re_replicate();
@@ -285,6 +395,246 @@ impl ChurnNetwork {
     /// Run stabilization rounds (after injected churn).
     pub fn stabilize(&mut self, max_rounds: usize) -> Option<usize> {
         self.chord.stabilize_until_consistent(max_rounds)
+    }
+
+    /// Crash a peer: like [`Self::fail`] it drops off the ring abruptly
+    /// and its live cache is lost, but its disks survive (after taking the
+    /// configured crash faults — un-synced suffix gone, possibly a torn
+    /// tail write or a flipped bit) and are parked for a later
+    /// [`Self::restart`]. No re-replication sweep runs here: a crashed
+    /// machine is expected back, and the anti-entropy repair loop is the
+    /// path that restores the replication invariant afterwards.
+    pub fn crash(&mut self, id: Id) -> Result<(), ChordError> {
+        self.chord.fail(id)?;
+        let lost = self
+            .storage
+            .remove(&id.0)
+            .map(|p| p.partition_count() as u64)
+            .unwrap_or(0);
+        self.lose_buckets(lost);
+        let disks = self.logs.remove(&id.0).map(|mut store| {
+            store.crash();
+            store
+        });
+        self.crashed.insert(id.0, disks);
+        self.telemetry.event(
+            "churn.crash",
+            &[("node", id.0.into()), ("buckets_lost", lost.into())],
+        );
+        Ok(())
+    }
+
+    /// Crash up to `count` random alive peers (always leaving at least
+    /// one). Returns the crashed ids, for matching [`Self::restart`] calls.
+    pub fn crash_random(&mut self, count: usize) -> Vec<Id> {
+        let mut downed = Vec::new();
+        for _ in 0..count {
+            let ids = self.chord.node_ids();
+            if ids.len() <= 1 {
+                break;
+            }
+            let victim = ids[self.rng.gen_index(ids.len())];
+            if self.crash(victim).is_ok() {
+                downed.push(victim);
+            }
+        }
+        downed
+    }
+
+    /// Restart a crashed peer: replay its parked disks — falling back past
+    /// a corrupt snapshot to the longest valid log prefix, never panicking
+    /// — rebuild its bucket state from the recovered entries, rejoin the
+    /// ring through the join protocol, and stabilize. Returns the number
+    /// of partition copies recovered from disk (0 without durability).
+    ///
+    /// The recovered identifiers are re-announced by the next
+    /// [`Self::anti_entropy_round`]: the restarted holder pushes them back
+    /// to their current replica owners, which is what makes recovery
+    /// visible to queries again even if ring ownership shifted meanwhile.
+    pub fn restart(&mut self, id: Id) -> Result<usize, ChordError> {
+        let Some(disks) = self.crashed.remove(&id.0) else {
+            return Err(ChordError::UnknownNode(id));
+        };
+        let via = self.chord.node_ids()[0];
+        if let Err(e) = self.chord.join(id, via) {
+            self.crashed.insert(id.0, disks);
+            return Err(e);
+        }
+        self.chord.stabilize_all(32);
+        let mut peer = Peer::new(id);
+        let mut recovered = 0u64;
+        let mut torn = 0u64;
+        let store = disks.map(|mut store| {
+            let report = store.recover();
+            torn = report.discarded_bytes as u64;
+            for (ident, payload) in &report.entries {
+                if let Some(range) = decode_range(payload) {
+                    if peer.store(*ident, range) {
+                        recovered += 1;
+                    }
+                }
+            }
+            store
+        });
+        self.storage.insert(id.0, peer);
+        if let Some(store) = store {
+            self.logs.insert(id.0, store);
+        }
+        self.resilience.buckets_recovered += recovered;
+        self.telemetry.counter_add("store.recovered", recovered);
+        self.telemetry.counter_add("buckets.recovered", recovered);
+        self.telemetry.counter_add("store.torn_discarded", torn);
+        self.telemetry.event(
+            "churn.restart",
+            &[
+                ("node", id.0.into()),
+                ("recovered", recovered.into()),
+                ("torn_bytes", torn.into()),
+            ],
+        );
+        Ok(recovered as usize)
+    }
+
+    /// Number of crashed peers awaiting [`Self::restart`].
+    pub fn crashed_count(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// A peer's durable store, if durability is on and the peer is alive —
+    /// read access for benches and tests (log length, disk statistics).
+    pub fn log_of(&self, id: Id) -> Option<&BucketStore> {
+        self.logs.get(&id.0)
+    }
+
+    /// One anti-entropy repair round. Every alive peer walks its held
+    /// identifiers in sorted order and compares a compact per-bucket
+    /// digest (FNV-1a over the encoded entries, order-independent) with
+    /// each replica owner of that identifier; on mismatch the holder
+    /// pushes the entries the owner is missing. At most `budget` entries
+    /// are transferred per round — a budget-cut round reports
+    /// [`RepairRound::hit_budget`] and the sweep resumes next round.
+    ///
+    /// The loop is additive, exactly like the oracle
+    /// [`Self::re_replicate`]: repeated rounds converge to the same fixed
+    /// point (every entry present at all of its replica owners; stale
+    /// copies left to age out as soft state), reached when a round sends
+    /// nothing and was not cut short.
+    ///
+    /// # Panics
+    /// Panics if `budget` is zero (such a round could never make progress).
+    pub fn anti_entropy_round(&mut self, budget: usize) -> RepairRound {
+        assert!(budget >= 1, "repair budget must be positive");
+        self.resilience.repair_rounds += 1;
+        self.telemetry.counter_add("repair.rounds", 1);
+        let mut round = RepairRound::default();
+        let mut peer_ids: Vec<u32> = self.storage.keys().copied().collect();
+        peer_ids.sort_unstable();
+        'sweep: for p in peer_ids {
+            let mut idents: Vec<u32> = self.storage[&p].entries().map(|(i, _)| i).collect();
+            idents.sort_unstable();
+            idents.dedup();
+            for ident in idents {
+                for owner in self.replica_owners(ident) {
+                    if owner.0 == p {
+                        continue;
+                    }
+                    round.digests_compared += 1;
+                    let src_digest = Self::bucket_digest(&self.storage[&p], ident);
+                    let dst_digest = self
+                        .storage
+                        .get(&owner.0)
+                        .map(|d| Self::bucket_digest(d, ident))
+                        .unwrap_or(0);
+                    if src_digest == dst_digest {
+                        continue;
+                    }
+                    // Digest mismatch: fetch the owner's entry list and
+                    // push only what it is missing.
+                    let missing: Vec<RangeSet> = {
+                        let dst_bucket = self.storage.get(&owner.0).and_then(|d| d.bucket(ident));
+                        self.storage[&p]
+                            .bucket(ident)
+                            .map(|b| {
+                                b.ranges()
+                                    .iter()
+                                    .filter(|r| !dst_bucket.map(|d| d.contains(r)).unwrap_or(false))
+                                    .cloned()
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    };
+                    for range in missing {
+                        if round.entries_sent as usize >= budget {
+                            round.hit_budget = true;
+                            break 'sweep;
+                        }
+                        if self.store_at(owner.0, ident, &range) {
+                            round.entries_sent += 1;
+                            self.telemetry.counter_add("repair.entries_sent", 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.resilience.repair_entries_sent += round.entries_sent;
+        round
+    }
+
+    /// Run [`Self::anti_entropy_round`]s until a round transfers nothing
+    /// (and was not cut short by the budget), i.e. every replica set has
+    /// converged. Returns the number of rounds run, or `None` if
+    /// `max_rounds` elapsed first.
+    pub fn repair_until_quiescent(&mut self, max_rounds: usize, budget: usize) -> Option<usize> {
+        for round in 1..=max_rounds {
+            let outcome = self.anti_entropy_round(budget);
+            if outcome.entries_sent == 0 && !outcome.hit_budget {
+                return Some(round);
+            }
+        }
+        None
+    }
+
+    /// Order-independent digest of one peer's bucket for `identifier`:
+    /// FNV-1a of each encoded entry XOR-combined, mixed with the entry
+    /// count. 0 for an absent bucket. Two buckets digest equal iff they
+    /// hold the same entry set (modulo negligible collision probability),
+    /// which is all the repair loop needs to skip in-sync replicas.
+    fn bucket_digest(peer: &Peer, identifier: u32) -> u64 {
+        match peer.bucket(identifier) {
+            None => 0,
+            Some(bucket) => {
+                let mut digest =
+                    0x9e37_79b9_7f4a_7c15u64 ^ (bucket.len() as u64).wrapping_mul(0x100_0000_01b3);
+                for range in bucket.ranges() {
+                    digest ^= digest_bytes(&encode_range(range));
+                }
+                digest
+            }
+        }
+    }
+
+    /// The full storage inventory as a sorted, canonical listing of
+    /// `(peer, identifier, intervals)` triples — the bit-identical
+    /// comparison form used to check that anti-entropy repair reaches the
+    /// oracle [`Self::re_replicate`] fixed point.
+    pub fn inventory(&self) -> Vec<InventoryEntry> {
+        let mut out: Vec<InventoryEntry> = self
+            .storage
+            .iter()
+            .flat_map(|(&pid, peer)| {
+                peer.entries()
+                    .map(move |(ident, range)| (pid, ident, range.intervals().to_vec()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Publish the `buckets.live` gauge so a telemetry snapshot can check
+    /// the ledger `placed == live + lost − recovered` at any quiet point.
+    pub fn publish_ledger(&self) {
+        self.telemetry
+            .gauge_set("buckets.live", self.total_partitions() as u64);
     }
 
     /// The ground-truth replica set for an identifier: the first `r` alive
@@ -323,15 +673,13 @@ impl ChurnNetwork {
         let mut restored = 0;
         for (ident, range) in pairs {
             for owner in self.replica_owners(ident) {
-                if let Some(peer) = self.storage.get_mut(&owner.0) {
-                    if peer.store(ident, range.clone()) {
-                        restored += 1;
-                        self.telemetry.counter_add("replica.stores", 1);
-                        self.telemetry.event(
-                            "replica.store",
-                            &[("ident", ident.into()), ("node", owner.0.into())],
-                        );
-                    }
+                if self.store_at(owner.0, ident, &range) {
+                    restored += 1;
+                    self.telemetry.counter_add("replica.stores", 1);
+                    self.telemetry.event(
+                        "replica.store",
+                        &[("ident", ident.into()), ("node", owner.0.into())],
+                    );
                 }
             }
         }
@@ -478,9 +826,7 @@ impl ChurnNetwork {
         if self.config.cache_on_miss && !exact {
             for &ident in &reached {
                 for owner in self.replica_owners(ident) {
-                    if let Some(peer) = self.storage.get_mut(&owner.0) {
-                        stored |= peer.store(ident, hashed_range.clone());
-                    }
+                    stored |= self.store_at(owner.0, ident, &hashed_range);
                 }
             }
         }
@@ -571,10 +917,9 @@ impl ChurnNetwork {
             .unwrap_or(false);
         let mut stored = false;
         if self.config.cache_on_miss && !exact {
-            for (&ident, owner) in identifiers.iter().zip(&owners) {
-                if let Some(peer) = self.storage.get_mut(&owner.0) {
-                    stored |= peer.store(ident, hashed_range.clone());
-                }
+            let targets: Vec<(u32, Id)> = identifiers.iter().copied().zip(owners.clone()).collect();
+            for (ident, owner) in targets {
+                stored |= self.store_at(owner.0, ident, &hashed_range);
             }
         }
 
@@ -956,6 +1301,209 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn lookup_loss_rejects_bad_probability() {
         small_net(1).set_lookup_loss(1.5);
+    }
+
+    fn durable_config(seed: u64) -> SystemConfig {
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_durability(crate::durable::DurabilityConfig::default())
+    }
+
+    /// The ledger identity the telemetry suite pins: every placement,
+    /// loss, and recovery is counted, so the live count is derivable.
+    fn assert_ledger(net: &ChurnNetwork) {
+        let s = net.resilience();
+        assert_eq!(
+            s.buckets_placed + s.buckets_recovered,
+            net.total_partitions() as u64 + s.buckets_lost,
+            "ledger violated: placed {} recovered {} live {} lost {}",
+            s.buckets_placed,
+            s.buckets_recovered,
+            net.total_partitions(),
+            s.buckets_lost
+        );
+    }
+
+    #[test]
+    fn fail_counts_silently_discarded_buckets() {
+        let mut net = small_net(2);
+        net.query(&r(100, 200)).unwrap();
+        let live = net.total_partitions() as u64;
+        assert!(live >= 1);
+        assert_eq!(net.resilience().buckets_lost, 0);
+        let holder = net
+            .chord()
+            .node_ids()
+            .into_iter()
+            .find(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .expect("someone holds the cache");
+        let held = net.storage[&holder.0].partition_count() as u64;
+        net.fail(holder).unwrap();
+        assert_eq!(net.resilience().buckets_lost, held);
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn ledger_identity_holds_across_mixed_churn() {
+        let mut net = ChurnNetwork::new(16, durable_config(9)).unwrap();
+        for i in 0..8u32 {
+            net.query(&r(i * 40, i * 40 + 60)).unwrap();
+            assert_ledger(&net);
+        }
+        net.fail_random(2);
+        assert_ledger(&net);
+        let leaver = net.chord().node_ids()[1];
+        net.leave(leaver).unwrap();
+        assert_ledger(&net);
+        net.join_random_with_migration().unwrap();
+        assert_ledger(&net);
+        let downed = net.crash_random(3);
+        assert_ledger(&net);
+        for id in downed {
+            net.restart(id).unwrap();
+            assert_ledger(&net);
+        }
+        net.stabilize(128).expect("recovers");
+        net.repair_until_quiescent(64, 1_000).expect("quiesces");
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn crash_without_durability_loses_buckets_but_restart_rejoins() {
+        let mut net = small_net(4);
+        net.query(&r(100, 200)).unwrap();
+        let n = net.len();
+        let victim = net.crash_random(1)[0];
+        assert_eq!(net.len(), n - 1);
+        assert_eq!(net.crashed_count(), 1);
+        let recovered = net.restart(victim).unwrap();
+        assert_eq!(recovered, 0, "no disks, nothing to replay");
+        assert_eq!(net.len(), n);
+        assert_eq!(net.crashed_count(), 0);
+        net.stabilize(128).expect("recovers");
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn crash_restart_recovers_buckets_from_disk() {
+        let mut net = ChurnNetwork::new(12, durable_config(6)).unwrap();
+        net.query(&r(100, 200)).unwrap();
+        assert!(net.query(&r(100, 200)).unwrap().exact, "warm cache");
+        let before = net.total_partitions();
+        // Crash every holder; with r = 1 the live cache is entirely gone.
+        let holders: Vec<Id> = net
+            .chord()
+            .node_ids()
+            .into_iter()
+            .filter(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for h in &holders {
+            net.crash(*h).unwrap();
+        }
+        assert_eq!(net.total_partitions(), 0, "crash drops the live cache");
+        // Restart replays the logs: every copy comes back, and because the
+        // same ids rejoin at the same ring positions, the warm hit returns
+        // without any repair round.
+        let mut recovered = 0;
+        for h in &holders {
+            recovered += net.restart(*h).unwrap();
+        }
+        net.stabilize(128).expect("recovers");
+        assert_eq!(recovered, before, "every synced copy must replay");
+        assert_eq!(net.total_partitions(), before);
+        assert!(net.query(&r(100, 200)).unwrap().exact, "cache survived");
+        assert_eq!(net.resilience().buckets_recovered, before as u64);
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn restart_of_a_never_crashed_peer_errors() {
+        let mut net = small_net(1);
+        let alive = net.chord().node_ids()[0];
+        match net.restart(alive) {
+            Err(ChordError::UnknownNode(id)) => assert_eq!(id, alive),
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anti_entropy_reaches_the_oracle_fixed_point() {
+        // Two identical networks diverge replicas the same way; one runs
+        // the budgeted digest-exchange repair, the other the global oracle
+        // sweep. Their inventories must be bit-identical at the end.
+        let run = |seed: u64| {
+            let mut net = ChurnNetwork::new(14, durable_config(seed).with_replication(2)).unwrap();
+            for i in 0..6u32 {
+                net.query_resilient(&r(i * 70, i * 70 + 80));
+            }
+            let downed = net.crash_random(3);
+            for id in downed {
+                net.restart(id).unwrap();
+            }
+            net.stabilize(128).expect("recovers");
+            net
+        };
+        let mut repaired = run(11);
+        let mut oracle = run(11);
+        assert_eq!(repaired.inventory(), oracle.inventory(), "same divergence");
+        let rounds = repaired
+            .repair_until_quiescent(64, 5)
+            .expect("repair quiesces");
+        assert!(rounds >= 1);
+        oracle.re_replicate();
+        assert_eq!(
+            repaired.inventory(),
+            oracle.inventory(),
+            "anti-entropy fixed point must equal the oracle sweep"
+        );
+        // Quiescent means a further round moves nothing.
+        let extra = repaired.anti_entropy_round(1_000);
+        assert_eq!(extra.entries_sent, 0);
+        assert!(!extra.hit_budget);
+        assert_ledger(&repaired);
+    }
+
+    #[test]
+    fn repair_budget_cuts_rounds_short_but_converges() {
+        let mut net = ChurnNetwork::new(14, durable_config(12).with_replication(3)).unwrap();
+        for i in 0..6u32 {
+            net.query_resilient(&r(i * 70, i * 70 + 80));
+        }
+        let downed = net.crash_random(4);
+        for id in downed {
+            net.restart(id).unwrap();
+        }
+        net.stabilize(128).expect("recovers");
+        let first = net.anti_entropy_round(1);
+        if first.entries_sent > 0 {
+            assert!(first.hit_budget, "budget 1 must cut a non-trivial round");
+            assert_eq!(first.entries_sent, 1);
+        }
+        let rounds = net.repair_until_quiescent(10_000, 1).expect("quiesces");
+        // One entry per round, plus the final empty round that proves
+        // quiescence.
+        assert_eq!(
+            rounds as u64,
+            net.resilience().repair_entries_sent - first.entries_sent + 1
+        );
+        let extra = net.anti_entropy_round(1_000);
+        assert_eq!(extra.entries_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_repair_budget_rejected() {
+        small_net(1).anti_entropy_round(0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! System configuration.
 
+use crate::durable::DurabilityConfig;
 use ars_lsh::LshFamilyKind;
 
 /// How a bucket-owning peer picks the best stored partition for a query
@@ -63,6 +64,13 @@ pub struct SystemConfig {
     /// findable. `1` (the paper's implicit setting) disables replication;
     /// the fault-tolerance bench sweeps this (see `crate::resilient`).
     pub replication: usize,
+    /// Durable per-peer bucket stores (see [`crate::durable`]). `None`
+    /// (the default) is the paper's pure soft-state model: an abrupt
+    /// failure loses the peer's cache. `Some` persists every placement
+    /// and eviction to a crash-faulted op log, enabling
+    /// [`crate::ChurnNetwork::crash`]/[`crate::ChurnNetwork::restart`]
+    /// to bring peers back with their buckets recovered from disk.
+    pub durability: Option<DurabilityConfig>,
     /// Seed for hash-function generation and origin-peer selection.
     pub seed: u64,
 }
@@ -81,6 +89,7 @@ impl Default for SystemConfig {
             use_local_index: false,
             placement: Placement::Uniformized,
             replication: 1,
+            durability: None,
             seed: 0xA25_2003, // arbitrary fixed default
         }
     }
@@ -153,6 +162,12 @@ impl SystemConfig {
         self.replication = r;
         self
     }
+
+    /// Builder-style: give every peer a durable bucket store.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> SystemConfig {
+        self.durability = Some(durability);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +185,13 @@ mod tests {
         assert!(c.cache_on_miss);
         assert!(!c.use_local_index);
         assert_eq!(c.replication, 1, "paper stores one copy per identifier");
+        assert_eq!(c.durability, None, "paper's cache is pure soft state");
+    }
+
+    #[test]
+    fn durability_builder() {
+        let c = SystemConfig::default().with_durability(DurabilityConfig::default());
+        assert_eq!(c.durability, Some(DurabilityConfig::default()));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod bucket;
 pub mod churn;
 pub mod config;
 pub mod data;
+pub mod durable;
 pub mod exact;
 pub mod index;
 pub mod multiattr;
@@ -46,9 +47,10 @@ pub mod resilient;
 
 pub use adaptive::{AdaptiveClient, AdaptivePadding};
 pub use bucket::Bucket;
-pub use churn::ChurnNetwork;
+pub use churn::{ChurnNetwork, InventoryEntry, RepairRound};
 pub use config::{MatchMeasure, SystemConfig};
 pub use data::DataNetwork;
+pub use durable::DurabilityConfig;
 pub use exact::ExactMatchNetwork;
 pub use multiattr::{MultiAttrNetwork, MultiRange};
 pub use network::{NetworkStats, QueryOutcome, RangeSelectNetwork};

@@ -107,6 +107,30 @@ impl Peer {
         self.buckets.values().any(|b| b.contains(range))
     }
 
+    /// Remove one stored range from `identifier`'s bucket. Returns true if
+    /// it was present; an emptied bucket is dropped (so [`Self::bucket`]
+    /// goes back to `None`, matching a never-stored identifier). The §5.3
+    /// local index has no removal operation, so it is rebuilt from the
+    /// surviving entries.
+    pub fn evict(&mut self, identifier: u32, range: &RangeSet) -> bool {
+        let Some(bucket) = self.buckets.get_mut(&identifier) else {
+            return false;
+        };
+        if !bucket.remove(range) {
+            return false;
+        }
+        if bucket.is_empty() {
+            self.buckets.remove(&identifier);
+        }
+        self.index = IntervalIndex::new();
+        for b in self.buckets.values() {
+            for r in b.ranges() {
+                self.index.insert(r.clone());
+            }
+        }
+        true
+    }
+
     /// Iterate over all stored (identifier, range) pairs without consuming
     /// them — the re-replication sweep reads every peer's inventory to
     /// restore the successor-replication invariant after churn.
@@ -209,6 +233,28 @@ mod tests {
         seen.sort_by(|a, b| (a.0, a.1.intervals()).cmp(&(b.0, b.1.intervals())));
         assert_eq!(seen, vec![(7, r(0, 10)), (7, r(20, 30)), (9, r(100, 110))]);
         assert_eq!(p.partition_count(), 3, "entries must not drain");
+    }
+
+    #[test]
+    fn evict_removes_exactly_one_entry_and_repairs_the_index() {
+        let mut p = Peer::new(Id(1));
+        p.store(7, r(0, 10));
+        p.store(7, r(20, 30));
+        p.store(9, r(100, 110));
+        assert!(!p.evict(7, &r(50, 60)), "absent range");
+        assert!(!p.evict(999, &r(0, 10)), "absent bucket");
+        assert!(p.evict(7, &r(0, 10)));
+        assert!(!p.evict(7, &r(0, 10)), "second evict is a no-op");
+        assert_eq!(p.partition_count(), 2);
+        // The evicted range is gone from the local index too.
+        let m = p.best_across_buckets(&r(0, 10), MatchMeasure::Jaccard);
+        assert!(
+            m.map(|m| m.score < 1.0).unwrap_or(true),
+            "evicted range must not be matchable"
+        );
+        // Emptying a bucket drops it entirely.
+        assert!(p.evict(9, &r(100, 110)));
+        assert!(p.bucket(9).is_none());
     }
 
     #[test]

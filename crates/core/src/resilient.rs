@@ -110,6 +110,21 @@ pub struct ResilienceStats {
     /// Partition copies created by those sweeps (missing replicas
     /// restored from surviving ones).
     pub replicas_restored: u64,
+    /// Partition copies placed at any peer by any path (query caching,
+    /// re-replication, anti-entropy repair, leave handover, migration).
+    /// With `buckets_lost`/`buckets_recovered` this forms the ledger
+    /// `placed == live + lost − recovered` checked by the trace tests.
+    pub buckets_placed: u64,
+    /// Live partition copies destroyed: abrupt failures and crashes take
+    /// down a peer's whole cache; graceful leaves and key migrations count
+    /// the drained copies here (and their re-stores in `buckets_placed`).
+    pub buckets_lost: u64,
+    /// Partition copies rebuilt from a durable log at restart.
+    pub buckets_recovered: u64,
+    /// Anti-entropy repair rounds run.
+    pub repair_rounds: u64,
+    /// Partition copies pushed to replica owners by those rounds.
+    pub repair_entries_sent: u64,
 }
 
 #[cfg(test)]
@@ -186,6 +201,11 @@ mod tests {
                 backoff_time: 0,
                 re_replications: 0,
                 replicas_restored: 0,
+                buckets_placed: 0,
+                buckets_lost: 0,
+                buckets_recovered: 0,
+                repair_rounds: 0,
+                repair_entries_sent: 0,
             }
         );
     }

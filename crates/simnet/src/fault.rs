@@ -65,6 +65,14 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashWindow>,
     /// Temporary node pauses.
     pub pauses: Vec<PauseWindow>,
+    /// Storage fault: probability a crash leaves a torn (partial) tail
+    /// write on a peer's durable log instead of a clean truncation.
+    /// Executed by `ars-store`'s simulated disks, not by the transport
+    /// injector — the plan is the single declarative fault surface.
+    pub torn_write_p: f64,
+    /// Storage fault: probability a crash flips one bit in the tail of
+    /// a peer's durable log image (a corrupted sector).
+    pub bit_flip_p: f64,
 }
 
 fn check_p(p: f64) {
@@ -143,6 +151,27 @@ impl FaultPlan {
         assert!(from < until, "empty pause window");
         self.pauses.push(PauseWindow { node, from, until });
         self
+    }
+
+    /// Declare the storage-fault surface crash-restart runs execute on
+    /// their simulated disks: `torn_write_p` per-crash torn tail writes,
+    /// `bit_flip_p` per-crash tail bit flips. Un-synced suffixes are
+    /// always lost on crash regardless of these probabilities.
+    ///
+    /// # Panics
+    /// Panics unless both probabilities are in `[0, 1]`.
+    pub fn with_storage_faults(mut self, torn_write_p: f64, bit_flip_p: f64) -> FaultPlan {
+        check_p(torn_write_p);
+        check_p(bit_flip_p);
+        self.torn_write_p = torn_write_p;
+        self.bit_flip_p = bit_flip_p;
+        self
+    }
+
+    /// True if this plan declares any storage fault (consumed by the
+    /// durable-store layer; [`Self::is_benign`] stays transport-only).
+    pub fn has_storage_faults(&self) -> bool {
+        self.torn_write_p > 0.0 || self.bit_flip_p > 0.0
     }
 
     fn drop_p_for(&self, from: usize, to: usize) -> f64 {
@@ -359,5 +388,24 @@ mod tests {
     #[should_panic(expected = "empty pause window")]
     fn bad_pause_rejected() {
         let _ = FaultPlan::none().with_pause(0, 10, 10);
+    }
+
+    #[test]
+    fn storage_faults_declared_but_transport_benign() {
+        let plan = FaultPlan::none().with_storage_faults(0.4, 0.1);
+        assert!(plan.has_storage_faults());
+        assert!(
+            plan.is_benign(),
+            "storage faults never touch the transport injector"
+        );
+        assert!(!FaultPlan::none().has_storage_faults());
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.on_send(0, 1, 0), FaultAction::Deliver(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_storage_probability_rejected() {
+        let _ = FaultPlan::none().with_storage_faults(0.0, 1.1);
     }
 }

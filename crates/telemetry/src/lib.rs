@@ -41,6 +41,15 @@
 //! | `resilient.backoff_spent` | counter | total backoff ticks consumed |
 //! | `resilient.source_fallbacks` | counter | replica fallbacks to non-primary sources |
 //! | `replica.stores` | counter | replica copies written by re-replication |
+//! | `buckets.placed` | counter | partition copies stored by any path |
+//! | `buckets.lost` | counter | live copies destroyed (fail/crash/leave drain) |
+//! | `buckets.recovered` | counter | copies replayed from durable logs at restart |
+//! | `buckets.live` | gauge | live copies, published by `publish_ledger` — the ledger is `placed == live + lost − recovered` |
+//! | `store.appended` | counter | op records written to durable bucket logs |
+//! | `store.recovered` | counter | entries recovered from disk at restart |
+//! | `store.torn_discarded` | counter | bytes discarded as torn/corrupt during recovery |
+//! | `repair.rounds` | counter | anti-entropy repair rounds run |
+//! | `repair.entries_sent` | counter | entries pushed to replica owners by repair |
 //! | `simnet.sent` / `.delivered` / `.dropped` / `.queued` | gauge | message ledger |
 //! | `simnet.bytes` / `.end_time` | gauge | traffic volume / sim clock |
 //!
@@ -48,7 +57,9 @@
 //! events `chord.lookup_resilient` (per DFS lookup: `hops`, `backtracks`,
 //! `ok`), `resilient.retry` (per retry: `attempt`, `backoff`),
 //! `replica.store` (per copy written: `key`, `node`), `core.query`
-//! (per query summary: `path`, `matches`).
+//! (per query summary: `path`, `matches`), `churn.crash` (per crash:
+//! `node`, `buckets_lost`), `churn.restart` (per restart: `node`,
+//! `recovered`, `torn_bytes`).
 //!
 //! # Capturing a trace
 //!

@@ -16,6 +16,7 @@
 //! | [`chord`] | `ars-chord` | identifier circle, static ring + lookup, dynamic join/leave/stabilize, SHA-1 |
 //! | [`relation`] | `ars-relation` | values, schemas, partitions, SQL parser, planner, executor |
 //! | [`simnet`] | `ars-simnet` | discrete-event simulator, threaded runtime, wire codec |
+//! | [`store`] | `ars-store` | durable bucket stores: CRC-framed op logs, checkpoints, crash-faulted simulated disks |
 //! | [`core`] | `ars-core` | the paper's system: buckets, peers, query protocol, padding, recall |
 //! | [`workload`] | `ars-workload` | §5.1 uniform trace, Zipf/clustered variants, size sweeps |
 //! | [`common`] | `ars-common` | deterministic RNG, fast hashing, statistics, CSV |
@@ -52,6 +53,7 @@ pub use ars_core as core;
 pub use ars_lsh as lsh;
 pub use ars_relation as relation;
 pub use ars_simnet as simnet;
+pub use ars_store as store;
 pub use ars_telemetry as telemetry;
 pub use ars_workload as workload;
 
@@ -60,8 +62,8 @@ pub mod prelude {
     pub use ars_chord::{DynamicNetwork, Id, Ring};
     pub use ars_common::{DetRng, Histogram, Summary};
     pub use ars_core::{
-        ChurnNetwork, DataNetwork, MatchMeasure, ProtoNetwork, QueryOutcome, RangeSelectNetwork,
-        ResilienceStats, RetryPolicy, SystemConfig,
+        ChurnNetwork, DataNetwork, DurabilityConfig, MatchMeasure, ProtoNetwork, QueryOutcome,
+        RangeSelectNetwork, RepairRound, ResilienceStats, RetryPolicy, SystemConfig,
     };
     pub use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
     pub use ars_relation::{
@@ -69,6 +71,7 @@ pub mod prelude {
         Schema, Value,
     };
     pub use ars_simnet::{FaultInjector, FaultPlan, SimNet, ThreadedNet};
+    pub use ars_store::{BucketStore, SimDisk, StorageFaults, StoreConfig};
     pub use ars_telemetry::{MetricsSnapshot, SpanId, Telemetry, TelemetryEvent};
     pub use ars_workload::{clustered_trace, uniform_trace, zipf_trace, Trace};
 }

@@ -188,6 +188,91 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The bucket ledger: every partition copy is placed once, lost at
+    /// most once, and recovered at most once, so at any quiet point
+    /// `placed == live + lost − recovered` — under any interleaving of
+    /// queries, fails, leaves, joins, crashes, and restarts, with and
+    /// without durable stores. Checked both against the telemetry
+    /// counters and the published `buckets.live` gauge.
+    #[test]
+    fn bucket_ledger_balances_under_churn_crash_restart(
+        ops in prop::collection::vec((0u8..6, any::<u16>()), 1..25),
+        durable in any::<bool>(),
+        replication in 1usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut config = SystemConfig::default()
+            .with_kl(8, 2)
+            .with_replication(replication)
+            .with_seed(seed ^ (fault_seed() << 48));
+        if durable {
+            config = config.with_durability(
+                DurabilityConfig::default().with_faults(
+                    StorageFaults::none().with_torn_write(0.3).with_bit_flip(0.1),
+                ),
+            );
+        }
+        let mut net = ChurnNetwork::new(14, config).expect("growth converges");
+        let tel = Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let mut downed: Vec<Id> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0 | 1 => {
+                    let lo = (arg as u32) * 7 % 40_000;
+                    net.query_resilient(&RangeSet::interval(lo, lo + 80));
+                }
+                2 => {
+                    if net.len() > 8 {
+                        net.fail_random(1);
+                    }
+                }
+                3 => {
+                    if net.len() > 8 {
+                        let ids = net.chord().node_ids();
+                        let _ = net.leave(ids[arg as usize % ids.len()]);
+                    }
+                }
+                4 => {
+                    if net.len() > 8 {
+                        downed.extend(net.crash_random(1));
+                    }
+                }
+                _ => {
+                    if let Some(id) = downed.pop() {
+                        net.restart(id).expect("restart rejoins");
+                    } else {
+                        let _ = net.join_random();
+                    }
+                }
+            }
+        }
+        net.stabilize(256).expect("recovers");
+        net.publish_ledger();
+        let snap = tel.snapshot();
+        let live = snap.gauge("buckets.live").unwrap_or(0);
+        prop_assert_eq!(live, net.total_partitions() as u64);
+        prop_assert_eq!(
+            snap.counter("buckets.placed") + snap.counter("buckets.recovered"),
+            live + snap.counter("buckets.lost"),
+            "placed == live + lost − recovered must hold"
+        );
+        // The telemetry counters mirror ResilienceStats exactly.
+        let s = net.resilience();
+        prop_assert_eq!(snap.counter("buckets.placed"), s.buckets_placed);
+        prop_assert_eq!(snap.counter("buckets.lost"), s.buckets_lost);
+        prop_assert_eq!(snap.counter("buckets.recovered"), s.buckets_recovered);
+        prop_assert_eq!(snap.counter("store.recovered"), s.buckets_recovered);
+        if !durable {
+            prop_assert_eq!(snap.counter("store.appended"), 0);
+            prop_assert_eq!(snap.counter("buckets.recovered"), 0);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // 3. SimNet's message ledger, re-exported as gauges, reproduces the
 //    conservation invariant from the snapshot alone.
