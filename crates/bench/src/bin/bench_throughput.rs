@@ -1,0 +1,220 @@
+//! End-to-end throughput benchmark for the sharded query engine, the
+//! fused group-identifier kernels, and the Chord route cache, written to
+//! `BENCH_throughput.json` at the repo root.
+//!
+//! Three sections:
+//!
+//! * **fused** — group-identifier computation (k = 20, l = 5) through the
+//!   fused single-pass [`ars_lsh::CompiledGroup`] kernels vs the
+//!   per-function compiled loop, per paper family. Floor asserted: ≥5×
+//!   for the bit-shuffle families.
+//! * **engine** — queries/second over a Zipf trace through the
+//!   one-at-a-time path, the pre-sharding batch (parallel hashing only),
+//!   and the sharded batch engine (parallel hashing + parallel routing +
+//!   sequential commit). Floor asserted: sharded ≥3× the pre-sharding
+//!   batch. All three paths produce bit-identical outcomes (asserted
+//!   before timing).
+//! * **route_cache** — hit rates and mean hops on a live (churning)
+//!   network across Zipf skews, cached vs uncached.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_throughput`
+
+use ars_core::{ChurnNetwork, RangeSelectNetwork, SystemConfig};
+use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
+use ars_workload::zipf_trace;
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+
+/// Median of `SAMPLES` timings of `f` (seconds).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn fused_section(json: &mut String) {
+    use ars_common::DetRng;
+    let queries: Vec<RangeSet> = zipf_trace(64, 0, 40_000, 32, 1.1, 5_000, 11)
+        .queries()
+        .to_vec();
+    let mut first = true;
+    json.push_str("  \"fused_identifiers\": {\n");
+    for kind in LshFamilyKind::PAPER_FAMILIES {
+        let mut rng = DetRng::new(5);
+        let groups = HashGroups::generate(kind, 20, 5, &mut rng);
+        // Exactness before speed: both paths agree on the whole trace.
+        for q in &queries {
+            assert_eq!(
+                groups.identifiers(q),
+                groups.identifiers_per_function(q),
+                "fused diverged from per-function loop on {q}"
+            );
+        }
+        let mut buf = vec![0u32; 5];
+        let fused = median_secs(|| {
+            for q in &queries {
+                groups.identifiers_into(q, &mut buf);
+                std::hint::black_box(&buf);
+            }
+        });
+        let per_fn = median_secs(|| {
+            for q in &queries {
+                std::hint::black_box(groups.identifiers_per_function(q));
+            }
+        });
+        let speedup = per_fn / fused;
+        let per_query_us = fused / queries.len() as f64 * 1e6;
+        println!(
+            "fused {:<28} {per_query_us:>8.2} us/query  speedup vs per-function {speedup:>6.1}x",
+            kind.name()
+        );
+        if matches!(kind, LshFamilyKind::MinWise | LshFamilyKind::ApproxMinWise) {
+            assert!(
+                speedup >= 5.0,
+                "{}: fused kernels must be ≥5x the per-function compiled loop, got {speedup:.1}x",
+                kind.name()
+            );
+        }
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        json.push_str(&format!(
+            "{sep}    \"{}\": {{\"fused_us_per_query\": {per_query_us:.3}, \"speedup_vs_per_function\": {speedup:.2}}}",
+            kind.name()
+        ));
+    }
+    json.push_str("\n  },\n");
+}
+
+fn engine_section(json: &mut String) {
+    const N_PEERS: usize = 1_024;
+    const N_QUERIES: usize = 4_000;
+    let config = SystemConfig::default().with_seed(42); // paper k=20, l=5
+    let queries: Vec<RangeSet> = zipf_trace(N_QUERIES, 0, 40_000, 64, 1.1, 300, 23)
+        .queries()
+        .to_vec();
+
+    // Equivalence before speed: all three paths, same outcomes and stats.
+    let pristine = RangeSelectNetwork::new(N_PEERS, config);
+    let mut seq = pristine.clone();
+    let mut legacy = pristine.clone();
+    let mut sharded = pristine.clone();
+    let out_seq: Vec<_> = queries.iter().map(|q| seq.query(q)).collect();
+    let out_legacy = legacy.query_batch_legacy(&queries);
+    let out_sharded = sharded.query_batch(&queries);
+    assert_eq!(out_seq, out_legacy, "pre-sharding batch diverged");
+    assert_eq!(out_seq, out_sharded, "sharded batch diverged");
+    assert_eq!(seq.stats(), sharded.stats());
+
+    // Throughput: each sample replays the whole trace on a clone of the
+    // pristine network, so cold identifier caches and first-time
+    // placements are always paid.
+    let qps = |label: &str, run: &mut dyn FnMut(&mut RangeSelectNetwork)| {
+        let secs = median_secs(|| {
+            let mut net = pristine.clone();
+            run(&mut net);
+        });
+        let qps = N_QUERIES as f64 / secs;
+        println!("engine {label:<12} {qps:>12.0} q/s");
+        qps
+    };
+    let seq_qps = qps("sequential", &mut |net| {
+        for q in &queries {
+            std::hint::black_box(net.query(q));
+        }
+    });
+    let legacy_qps = qps("legacy_batch", &mut |net| {
+        std::hint::black_box(net.query_batch_legacy(&queries));
+    });
+    let sharded_qps = qps("sharded", &mut |net| {
+        std::hint::black_box(net.query_batch(&queries));
+    });
+    let vs_legacy = sharded_qps / legacy_qps;
+    let vs_seq = sharded_qps / seq_qps;
+    println!("engine sharded vs pre-sharding batch {vs_legacy:.1}x, vs sequential {vs_seq:.1}x");
+    assert!(
+        vs_legacy >= 3.0,
+        "sharded engine must be ≥3x the pre-sharding batch, got {vs_legacy:.1}x"
+    );
+    json.push_str(&format!(
+        "  \"engine\": {{\n    \"peers\": {N_PEERS}, \"queries\": {N_QUERIES},\n    \"sequential_qps\": {seq_qps:.0},\n    \"legacy_batch_qps\": {legacy_qps:.0},\n    \"sharded_batch_qps\": {sharded_qps:.0},\n    \"sharded_vs_legacy_batch\": {vs_legacy:.2},\n    \"sharded_vs_sequential\": {vs_seq:.2}\n  }},\n"
+    ));
+}
+
+fn route_cache_section(json: &mut String) {
+    const N_PEERS: usize = 32;
+    const N_QUERIES: usize = 800;
+    json.push_str("  \"route_cache\": {\n");
+    let mut first = true;
+    for s in [0.8f64, 1.1, 1.4] {
+        // Narrow widths make hot ranges repeat *exactly*, which is what
+        // route memoization (keyed by origin and placed identifier) can
+        // exploit; origins are still drawn at random per query, so hit
+        // rates stay well below the per-range repeat rate.
+        let queries: Vec<RangeSet> = zipf_trace(N_QUERIES, 0, 40_000, 8, s, 4, 31)
+            .queries()
+            .to_vec();
+        let base = SystemConfig::default().with_seed(61);
+        let mut plain = ChurnNetwork::new(N_PEERS, base.clone()).expect("growth converges");
+        let mut cached =
+            ChurnNetwork::new(N_PEERS, base.with_route_cache(4_096)).expect("growth converges");
+        let mut hops = [0u64; 2];
+        for (i, q) in queries.iter().enumerate() {
+            if i % 199 == 13 {
+                // A trickle of churn: the cache must keep earning its hit
+                // rate through invalidation storms.
+                plain.fail_random(1);
+                cached.fail_random(1);
+                plain.stabilize(64).expect("recovers");
+                cached.stabilize(64).expect("recovers");
+            }
+            let a = plain.query(q).expect("stabilized network answers");
+            let b = cached.query(q).expect("stabilized network answers");
+            assert_eq!(a.best_match, b.best_match, "cache changed an answer");
+            hops[0] += a.hops.iter().sum::<usize>() as u64;
+            hops[1] += b.hops.iter().sum::<usize>() as u64;
+        }
+        let stats = cached.route_cache_stats();
+        let hit_rate = stats.hits as f64 / (stats.hits + stats.misses) as f64;
+        let mean = |h: u64| h as f64 / (N_QUERIES * 5) as f64;
+        let reduction = 1.0 - mean(hops[1]) / mean(hops[0]);
+        println!(
+            "route_cache skew {s:.1}  hit rate {:>5.1}%  mean hops {:.2} -> {:.2} ({:.0}% fewer)",
+            hit_rate * 100.0,
+            mean(hops[0]),
+            mean(hops[1]),
+            reduction * 100.0
+        );
+        assert!(stats.hits > 0, "skew {s}: route cache never hit");
+        assert!(
+            hops[1] <= hops[0],
+            "skew {s}: route cache increased total hops"
+        );
+        let sep = if first { "" } else { ",\n" };
+        first = false;
+        json.push_str(&format!(
+            "{sep}    \"skew_{s:.1}\": {{\"hit_rate\": {hit_rate:.4}, \"mean_hops_uncached\": {:.3}, \"mean_hops_cached\": {:.3}, \"hop_reduction\": {reduction:.4}}}",
+            mean(hops[0]),
+            mean(hops[1])
+        ));
+    }
+    json.push_str("\n  }\n");
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"benchmark\": \"throughput\",\n");
+    fused_section(&mut json);
+    engine_section(&mut json);
+    route_cache_section(&mut json);
+    json.push('}');
+    json.push('\n');
+    let path = ars_bench::experiments::repo_root().join("BENCH_throughput.json");
+    std::fs::write(&path, &json).expect("write BENCH_throughput.json");
+    println!("\nwrote {}", path.display());
+}

@@ -10,7 +10,8 @@
 use crate::id::{Id, ID_BITS};
 use ars_common::FxHashMap;
 use ars_telemetry::Telemetry;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Mutex;
 
 /// Errors surfaced by the dynamic protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +79,132 @@ impl NodeState {
     }
 }
 
+/// Cumulative counters of the [`DynamicNetwork`] route cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered straight from the cache (one hop).
+    pub hits: u64,
+    /// Lookups that went through finger descent while the cache was on.
+    pub misses: u64,
+    /// Routes recorded after successful lookups.
+    pub insertions: u64,
+    /// Entries dropped because the cache was full (FIFO order).
+    pub evictions: u64,
+    /// Entries dropped by churn/stabilization invalidation.
+    pub invalidated: u64,
+}
+
+/// Bounded `(from, key) → (owner, hops)` route memo. Entries are recorded
+/// on successful lookups and *fully cleared* by every ring mutation
+/// (join/leave/fail and each node's stabilization step), so a cached route
+/// is always one an uncached lookup over the current state would also
+/// find — hit results differ from the uncached path only in hop count
+/// (served routes cost one hop, modelling a direct connection to the
+/// remembered owner).
+///
+/// Interior mutability keeps [`DynamicNetwork::lookup`] a `&self` method;
+/// a `Mutex` (never contended — the dynamic network is single-threaded,
+/// unlike the static [`crate::Ring`]) rather than `RefCell` so the network
+/// stays `Sync`.
+#[derive(Debug, Default)]
+struct RouteCache {
+    inner: Mutex<RouteCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct RouteCacheInner {
+    /// 0 = caching disabled (the default — opt in via
+    /// [`DynamicNetwork::set_route_cache_capacity`]).
+    capacity: usize,
+    /// `(from, key) → (owner, hops of the recorded uncached lookup)`.
+    map: FxHashMap<(u32, u32), (Id, usize)>,
+    /// Insertion order, for deterministic FIFO eviction.
+    fifo: VecDeque<(u32, u32)>,
+    stats: RouteCacheStats,
+}
+
+impl Clone for RouteCache {
+    fn clone(&self) -> RouteCache {
+        let inner = self.inner.lock().expect("route cache poisoned");
+        RouteCache {
+            inner: Mutex::new(RouteCacheInner {
+                capacity: inner.capacity,
+                map: inner.map.clone(),
+                fifo: inner.fifo.clone(),
+                stats: inner.stats,
+            }),
+        }
+    }
+}
+
+impl RouteCache {
+    /// Cached owner for `(from, key)`, served only when the recorded
+    /// uncached walk used at most `max_moves` forward moves (so a cached
+    /// route never succeeds where a budgeted uncached walk would fail).
+    /// Counts hit/miss; always `None` (and uncounted) while disabled.
+    fn get(&self, from: Id, key: Id, max_moves: usize) -> Option<Id> {
+        let mut inner = self.inner.lock().expect("route cache poisoned");
+        if inner.capacity == 0 {
+            return None;
+        }
+        match inner.map.get(&(from.0, key.0)).copied() {
+            Some((owner, hops)) if hops.saturating_sub(1) <= max_moves => {
+                inner.stats.hits += 1;
+                Some(owner)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a successful lookup, evicting the oldest entry when full.
+    fn insert(&self, from: Id, key: Id, owner: Id, hops: usize) {
+        let mut inner = self.inner.lock().expect("route cache poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
+        if inner.map.insert((from.0, key.0), (owner, hops)).is_none() {
+            inner.fifo.push_back((from.0, key.0));
+            if inner.map.len() > inner.capacity {
+                let oldest = inner.fifo.pop_front().expect("fifo tracks map");
+                inner.map.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.stats.insertions += 1;
+    }
+
+    /// Drop every entry (called on any ring mutation).
+    fn invalidate(&self) {
+        let mut inner = self.inner.lock().expect("route cache poisoned");
+        let dropped = inner.map.len() as u64;
+        inner.stats.invalidated += dropped;
+        inner.map.clear();
+        inner.fifo.clear();
+    }
+
+    fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock().expect("route cache poisoned");
+        inner.capacity = capacity;
+        inner.map.clear();
+        inner.fifo.clear();
+    }
+
+    fn enabled(&self) -> bool {
+        self.inner.lock().expect("route cache poisoned").capacity > 0
+    }
+
+    fn stats(&self) -> RouteCacheStats {
+        self.inner.lock().expect("route cache poisoned").stats
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("route cache poisoned").map.len()
+    }
+}
+
 /// A simulated Chord network under churn.
 ///
 /// All "RPCs" are direct reads of the target node's state — the simulation
@@ -91,6 +218,10 @@ pub struct DynamicNetwork {
     /// efficient true-successor queries. Maintained on join/leave.
     alive: BTreeSet<u32>,
     succ_list_len: usize,
+    /// Bounded successor/location cache consulted before finger descent
+    /// (disabled by default; see
+    /// [`DynamicNetwork::set_route_cache_capacity`]).
+    route_cache: RouteCache,
     /// Instrumentation sink (defaults to no-op; see `ars-telemetry`).
     telemetry: Telemetry,
 }
@@ -112,8 +243,30 @@ impl DynamicNetwork {
             nodes,
             alive,
             succ_list_len,
+            route_cache: RouteCache::default(),
             telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Enable (capacity ≥ 1) or disable (capacity 0, the default) the
+    /// route cache: a bounded `(from, key) → owner` memo consulted by
+    /// [`Self::lookup`] and [`Self::lookup_resilient`] before finger
+    /// descent. Hits resolve in one hop with the same owner the uncached
+    /// descent would return; every churn event and stabilization step
+    /// clears the cache so routes never outlive the ring state they were
+    /// observed on. Changing the capacity clears the cache.
+    pub fn set_route_cache_capacity(&mut self, capacity: usize) {
+        self.route_cache.set_capacity(capacity);
+    }
+
+    /// Cumulative route-cache counters (all zero while disabled).
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.route_cache.stats()
+    }
+
+    /// Entries currently cached.
+    pub fn route_cache_len(&self) -> usize {
+        self.route_cache.len()
     }
 
     /// Install a telemetry sink (share the handle to aggregate across
@@ -191,6 +344,8 @@ impl DynamicNetwork {
         state.successors.push(succ);
         self.nodes.insert(new.0, state);
         self.alive.insert(new.0);
+        // The new node may own keys cached routes point elsewhere for.
+        self.route_cache.invalidate();
         Ok(())
     }
 
@@ -217,6 +372,7 @@ impl DynamicNetwork {
                 }
             }
         }
+        self.route_cache.invalidate();
         Ok(())
     }
 
@@ -229,6 +385,7 @@ impl DynamicNetwork {
         self.node(id)?;
         self.alive.remove(&id.0);
         self.nodes.remove(&id.0);
+        self.route_cache.invalidate();
         Ok(())
     }
 
@@ -265,6 +422,12 @@ impl DynamicNetwork {
         let Some(state) = self.nodes.get(&id.0) else {
             return;
         };
+        // Invalidate on entry so the fix-fingers lookups below never serve
+        // routes observed before this round's successor/predecessor edits,
+        // and again on exit because the final state write below is itself
+        // a mutation. Stabilization therefore always runs — and leaves the
+        // network — cache-cold, exactly like the uncached protocol.
+        self.route_cache.invalidate();
         let mut successors = state.successors.clone();
         // 1. Prune dead successors.
         successors.retain(|&s| self.is_alive(s));
@@ -333,21 +496,38 @@ impl DynamicNetwork {
             }
         }
         state.next_finger = next;
+        self.route_cache.invalidate();
     }
 
     /// Best-effort iterative lookup through current protocol state.
     /// Tolerates stale fingers by skipping dead next-hops; fails only if a
     /// node has no alive pointer toward the key.
+    ///
+    /// With the route cache enabled ([`Self::set_route_cache_capacity`])
+    /// a remembered `(from, key)` route is served in one hop; the owner is
+    /// the one finger descent over the current state would return, because
+    /// every ring mutation clears the cache.
     pub fn lookup(&self, from: Id, key: Id) -> Result<(Id, usize), ChordError> {
+        if let Some(owner) = self.route_cache.get(from, key, usize::MAX) {
+            self.telemetry.counter_add("chord.lookups", 1);
+            self.telemetry.counter_add("chord.route_cache.hits", 1);
+            self.telemetry.counter_add("chord.hops", 1);
+            self.telemetry.record("chord.lookup.hops", 1);
+            return Ok((owner, 1));
+        }
+        if self.route_cache.enabled() {
+            self.telemetry.counter_add("chord.route_cache.misses", 1);
+        }
         let mut touches = 0usize;
         let result = self.lookup_impl(from, key, &mut touches);
         self.telemetry.counter_add("chord.lookups", 1);
         self.telemetry
             .counter_add("chord.finger_touches", touches as u64);
         match &result {
-            Ok((_, hops)) => {
+            Ok((owner, hops)) => {
                 self.telemetry.counter_add("chord.hops", *hops as u64);
                 self.telemetry.record("chord.lookup.hops", *hops as u64);
+                self.route_cache.insert(from, key, *owner, *hops);
             }
             Err(_) => self.telemetry.counter_add("chord.lookup_failures", 1),
         }
@@ -423,6 +603,31 @@ impl DynamicNetwork {
         key: Id,
         hop_budget: usize,
     ) -> Result<(Id, usize), ChordError> {
+        // A cached route is served only when the recorded uncached walk
+        // fits the caller's budget (`hops - 1` forward moves), so caching
+        // never turns a would-be budget failure into a success.
+        if let Some(owner) = self.route_cache.get(from, key, hop_budget) {
+            self.telemetry.counter_add("chord.resilient.lookups", 1);
+            self.telemetry.counter_add("chord.route_cache.hits", 1);
+            self.telemetry.record("chord.resilient.lookup.hops", 1);
+            self.telemetry.event(
+                "chord.lookup_resilient",
+                &[
+                    ("hops", 1usize.into()),
+                    ("backtracks", 0usize.into()),
+                    ("ok", true.into()),
+                ],
+            );
+            return Ok((owner, 1));
+        }
+        if self.route_cache.enabled() {
+            self.telemetry.counter_add("chord.route_cache.misses", 1);
+        }
+        // NOTE: resilient successes are deliberately *not* recorded in the
+        // cache. A backtrack-free DFS can still deviate from the greedy
+        // path after a successor-list detour (it skips visited nodes where
+        // greedy would cycle), so only greedy successes — whose path the
+        // DFS provably retraces on unchanged state — populate entries.
         let mut backtracks = 0usize;
         let mut hops_used = 0usize;
         let result =
@@ -818,5 +1023,187 @@ mod tests {
             net.lookup_resilient(Id(0xDEAD_0000), Id(1), 32),
             Err(ChordError::UnknownNode(_))
         ));
+    }
+
+    #[test]
+    fn route_cache_serves_same_owner_in_one_hop() {
+        let mut net = grow_network(30, 7);
+        net.set_route_cache_capacity(256);
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(3);
+        let pairs: Vec<(Id, Id)> = (0..50)
+            .map(|_| (ids[rng.gen_index(ids.len())], Id(rng.next_u32())))
+            .collect();
+        let cold: Vec<(Id, usize)> = pairs
+            .iter()
+            .map(|&(from, key)| net.lookup(from, key).unwrap())
+            .collect();
+        let warm: Vec<(Id, usize)> = pairs
+            .iter()
+            .map(|&(from, key)| net.lookup(from, key).unwrap())
+            .collect();
+        for (i, ((co, ch), (wo, wh))) in cold.iter().zip(&warm).enumerate() {
+            assert_eq!(co, wo, "owner changed on cache hit (pair {i})");
+            assert_eq!(*wh, 1, "cached route must cost one hop");
+            assert!(wh <= ch, "cache increased hops (pair {i})");
+        }
+        let stats = net.route_cache_stats();
+        assert_eq!(stats.hits, 50);
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.insertions, 50);
+        assert!(net.route_cache_len() <= 256);
+    }
+
+    #[test]
+    fn route_cache_capacity_evicts_fifo() {
+        let mut net = grow_network(20, 11);
+        net.set_route_cache_capacity(4);
+        let ids = net.node_ids();
+        for i in 0..10u32 {
+            net.lookup(ids[0], Id(i.wrapping_mul(0x1357_9BDF))).unwrap();
+        }
+        assert!(net.route_cache_len() <= 4);
+        let stats = net.route_cache_stats();
+        assert_eq!(stats.evictions, stats.insertions - 4);
+    }
+
+    #[test]
+    fn route_cache_invalidated_by_every_churn_event() {
+        let mut net = grow_network(20, 13);
+        net.set_route_cache_capacity(256);
+        let ids = net.node_ids();
+        net.lookup(ids[0], Id(12345)).unwrap();
+        assert!(net.route_cache_len() > 0);
+        net.fail(ids[5]).unwrap();
+        assert_eq!(net.route_cache_len(), 0, "fail must clear routes");
+        net.lookup(ids[0], Id(12345)).unwrap();
+        net.leave(ids[6]).unwrap();
+        assert_eq!(net.route_cache_len(), 0, "leave must clear routes");
+        net.lookup(ids[0], Id(12345)).unwrap();
+        net.join(Id(0x7777_7777), ids[0]).unwrap();
+        assert_eq!(net.route_cache_len(), 0, "join must clear routes");
+        net.lookup(ids[0], Id(12345)).unwrap();
+        net.stabilize_all(4);
+        assert_eq!(net.route_cache_len(), 0, "stabilization must clear routes");
+        assert!(net.route_cache_stats().invalidated >= 4);
+    }
+
+    #[test]
+    fn route_cache_never_serves_stale_owner_across_churn() {
+        // Cache a route, kill its owner, stabilize: the next lookup must
+        // re-route to the new ground-truth owner, identically to an
+        // uncached network.
+        let mut net = grow_network(25, 17);
+        net.set_route_cache_capacity(256);
+        let mut rng = DetRng::new(9);
+        for round in 0..8 {
+            let ids = net.node_ids();
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let (owner, _) = net.lookup(from, key).unwrap();
+            if net.len() > 2 && owner != from {
+                net.fail(owner).unwrap();
+                net.stabilize_until_consistent(64).expect("recovers");
+                let ids = net.node_ids();
+                let from = ids[rng.gen_index(ids.len())];
+                let (new_owner, _) = net.lookup(from, key).unwrap();
+                assert_eq!(new_owner, net.true_owner(key), "round {round}");
+                assert_ne!(new_owner, owner, "owner is dead (round {round})");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_lookups_agree_under_churn() {
+        // Twin networks driven through the same operation stream: the
+        // cached one must return the same owners and success/failure
+        // pattern, with hop counts never above the uncached one's.
+        let mut cached = grow_network(24, 19);
+        let mut plain = cached.clone();
+        cached.set_route_cache_capacity(128);
+        let mut rng = DetRng::new(21);
+        for step in 0..200 {
+            match rng.gen_index(10) {
+                0 if cached.len() > 5 => {
+                    let ids = cached.node_ids();
+                    let victim = ids[rng.gen_index(ids.len())];
+                    cached.fail(victim).unwrap();
+                    plain.fail(victim).unwrap();
+                }
+                1 if cached.len() > 5 => {
+                    let ids = cached.node_ids();
+                    let victim = ids[rng.gen_index(ids.len())];
+                    cached.leave(victim).unwrap();
+                    plain.leave(victim).unwrap();
+                }
+                2 => {
+                    cached.stabilize_all(8);
+                    plain.stabilize_all(8);
+                }
+                _ => {
+                    let ids = cached.node_ids();
+                    let from = ids[rng.gen_index(ids.len())];
+                    let key = Id(rng.next_u32());
+                    let a = cached.lookup(from, key);
+                    let b = plain.lookup(from, key);
+                    match (&a, &b) {
+                        (Ok((ao, ah)), Ok((bo, bh))) => {
+                            assert_eq!(ao, bo, "owners diverged at step {step}");
+                            assert!(ah <= bh, "cache increased hops at step {step}");
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => panic!("success pattern diverged at step {step}: {a:?} vs {b:?}"),
+                    }
+                    let ra = cached.lookup_resilient(from, key, 64);
+                    let rb = plain.lookup_resilient(from, key, 64);
+                    match (&ra, &rb) {
+                        (Ok((ao, ah)), Ok((bo, bh))) => {
+                            assert_eq!(ao, bo, "resilient owners diverged at step {step}");
+                            assert!(ah <= bh, "cache increased resilient hops at step {step}");
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => panic!("resilient pattern diverged at step {step}"),
+                    }
+                }
+            }
+        }
+        assert!(
+            cached.route_cache_stats().hits > 0,
+            "the equivalence run never exercised a cache hit"
+        );
+    }
+
+    #[test]
+    fn route_cache_disabled_by_default_and_stats_stay_zero() {
+        let net = grow_network(10, 23);
+        let ids = net.node_ids();
+        net.lookup(ids[0], Id(99)).unwrap();
+        net.lookup(ids[0], Id(99)).unwrap();
+        assert_eq!(net.route_cache_stats(), RouteCacheStats::default());
+        assert_eq!(net.route_cache_len(), 0);
+    }
+
+    #[test]
+    fn route_cache_telemetry_counters_mirror_stats() {
+        let mut net = grow_network(15, 27);
+        net.set_route_cache_capacity(64);
+        let tel = ars_telemetry::Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let ids = net.node_ids();
+        for _ in 0..3 {
+            for k in 0..5u32 {
+                net.lookup(ids[0], Id(k.wrapping_mul(0x0101_0101))).unwrap();
+                net.lookup_resilient(ids[1], Id(k.wrapping_mul(0x0202_0202)), 64)
+                    .unwrap();
+            }
+        }
+        let stats = net.route_cache_stats();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("chord.route_cache.hits"), stats.hits);
+        assert_eq!(snap.counter("chord.route_cache.misses"), stats.misses);
+        assert!(stats.hits > 0);
+        // Resilient lookups consult but never insert; only the 5 greedy
+        // keys are memoized.
+        assert_eq!(stats.insertions, 5);
     }
 }

@@ -129,6 +129,9 @@ impl ChurnNetwork {
             .ok_or(ChordError::NotConverged {
                 rounds: final_rounds,
             })?;
+        // Enable route caching only after growth: the join/stabilize storm
+        // above would clear it on every round anyway.
+        chord.set_route_cache_capacity(config.route_cache);
         let mut logs = FxHashMap::default();
         if config.durability.is_some() {
             for &pid in storage.keys() {
@@ -208,6 +211,12 @@ impl ChurnNetwork {
     /// The underlying dynamic Chord network.
     pub fn chord(&self) -> &DynamicNetwork {
         &self.chord
+    }
+
+    /// Route-cache counters of the underlying Chord network (all zero when
+    /// [`SystemConfig::route_cache`] is 0, the default).
+    pub fn route_cache_stats(&self) -> ars_chord::RouteCacheStats {
+        self.chord.route_cache_stats()
     }
 
     /// Total cached partition copies across alive peers.
@@ -1102,6 +1111,74 @@ mod tests {
             }
         }
         assert_eq!(answered, 40, "stabilized network must answer everything");
+    }
+
+    #[test]
+    fn route_cached_churn_network_matches_uncached_modulo_hops() {
+        // Twin networks, one with the Chord route cache enabled, driven
+        // through the same churn + query stream. Every outcome field
+        // except per-lookup hop counts must be identical (the cache serves
+        // a memoized owner in one hop); total hops must not increase; and
+        // repeated queries must actually hit.
+        let base = SystemConfig::default().with_seed(31);
+        let mut plain = ChurnNetwork::new(20, base.clone()).unwrap();
+        let mut cached = ChurnNetwork::new(20, base.with_route_cache(256)).unwrap();
+        let queries: Vec<RangeSet> = (0..30)
+            .map(|i| r((i % 6) * 100, (i % 6) * 100 + 50))
+            .collect();
+        let (mut plain_hops, mut cached_hops) = (0usize, 0usize);
+        for (i, q) in queries.iter().enumerate() {
+            if i % 9 == 4 {
+                plain.fail_random(1);
+                cached.fail_random(1);
+                plain.stabilize(64).expect("recovers");
+                cached.stabilize(64).expect("recovers");
+            }
+            let a = plain.query(q).unwrap();
+            let b = cached.query(q).unwrap();
+            assert_eq!(a.best_match, b.best_match, "query {i}");
+            assert_eq!(a.identifiers, b.identifiers, "query {i}");
+            assert_eq!(a.stored, b.stored, "query {i}");
+            assert_eq!(a.exact, b.exact, "query {i}");
+            assert_eq!(a.peers_contacted, b.peers_contacted, "query {i}");
+            assert_eq!(a.attempts, b.attempts, "query {i}");
+            let (ah, bh): (usize, usize) = (a.hops.iter().sum(), b.hops.iter().sum());
+            assert!(bh <= ah, "cache increased hops on query {i}");
+            plain_hops += ah;
+            cached_hops += bh;
+        }
+        assert_eq!(plain.total_partitions(), cached.total_partitions());
+        let stats = cached.route_cache_stats();
+        assert!(stats.hits > 0, "repeated queries must hit the route cache");
+        assert!(
+            cached_hops < plain_hops,
+            "route cache saved no hops ({cached_hops} vs {plain_hops})"
+        );
+        assert_eq!(plain.route_cache_stats(), Default::default());
+    }
+
+    #[test]
+    fn route_cached_resilient_queries_match_uncached() {
+        // Same twin-network check through the retrying resilient path with
+        // lookup loss: retries, attempts, and fallbacks must stay aligned
+        // because the loss RNG draw happens before every lookup either way.
+        let base = SystemConfig::default().with_seed(37);
+        let mut plain = ChurnNetwork::new(15, base.clone()).unwrap();
+        let mut cached = ChurnNetwork::new(15, base.with_route_cache(128)).unwrap();
+        plain.set_lookup_loss(0.2);
+        cached.set_lookup_loss(0.2);
+        for i in 0..25u32 {
+            let q = r((i % 5) * 80, (i % 5) * 80 + 40);
+            let a = plain.query_resilient(&q);
+            let b = cached.query_resilient(&q);
+            assert_eq!(a.best_match, b.best_match, "query {i}");
+            assert_eq!(a.attempts, b.attempts, "query {i}");
+            assert_eq!(a.fell_back_to_source, b.fell_back_to_source, "query {i}");
+            let (ah, bh): (usize, usize) = (a.hops.iter().sum(), b.hops.iter().sum());
+            assert!(bh <= ah, "cache increased hops on query {i}");
+        }
+        assert_eq!(plain.resilience().retries, cached.resilience().retries);
+        assert!(cached.route_cache_stats().hits > 0);
     }
 
     #[test]

@@ -71,6 +71,18 @@ pub struct SystemConfig {
     /// [`crate::ChurnNetwork::crash`]/[`crate::ChurnNetwork::restart`]
     /// to bring peers back with their buckets recovered from disk.
     pub durability: Option<DurabilityConfig>,
+    /// Capacity of the identifier memo cache
+    /// ([`crate::network::IdentifierCache`]) in distinct ranges; `0` (the
+    /// default) is unbounded. When bounded, entries are evicted FIFO —
+    /// insertion order, never perturbed by hits — so the sequential and
+    /// batched query paths evict identically.
+    pub ident_cache_capacity: usize,
+    /// Capacity of the Chord route cache (entries) consulted by lookups
+    /// under churn ([`ars_chord::RouteCacheStats`]); `0` (the default)
+    /// disables it. The cache is cleared on every membership or
+    /// stabilization event, so it never changes which owner a lookup
+    /// returns — only how many hops it spends (see `ars_chord::dynamic`).
+    pub route_cache: usize,
     /// Seed for hash-function generation and origin-peer selection.
     pub seed: u64,
 }
@@ -90,6 +102,8 @@ impl Default for SystemConfig {
             placement: Placement::Uniformized,
             replication: 1,
             durability: None,
+            ident_cache_capacity: 0,
+            route_cache: 0,
             seed: 0xA25_2003, // arbitrary fixed default
         }
     }
@@ -168,6 +182,19 @@ impl SystemConfig {
         self.durability = Some(durability);
         self
     }
+
+    /// Builder-style: bound the identifier memo cache (`0` = unbounded).
+    pub fn with_ident_cache_capacity(mut self, capacity: usize) -> SystemConfig {
+        self.ident_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder-style: enable the Chord route cache with the given capacity
+    /// (`0` = disabled).
+    pub fn with_route_cache(mut self, capacity: usize) -> SystemConfig {
+        self.route_cache = capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +213,17 @@ mod tests {
         assert!(!c.use_local_index);
         assert_eq!(c.replication, 1, "paper stores one copy per identifier");
         assert_eq!(c.durability, None, "paper's cache is pure soft state");
+        assert_eq!(c.ident_cache_capacity, 0, "memo cache unbounded by default");
+        assert_eq!(c.route_cache, 0, "route cache off by default");
+    }
+
+    #[test]
+    fn cache_builders() {
+        let c = SystemConfig::default()
+            .with_ident_cache_capacity(128)
+            .with_route_cache(512);
+        assert_eq!(c.ident_cache_capacity, 128);
+        assert_eq!(c.route_cache, 512);
     }
 
     #[test]

@@ -68,27 +68,46 @@ impl IntervalIndex {
     }
 
     fn rebuild(&mut self) {
-        let mut all: Vec<RangeSet> = self
-            .base
-            .drain(..)
-            .map(|e| e.range)
-            .chain(self.staging.drain(..))
-            .collect();
-        all.sort_by_key(|r| (r.min_value().unwrap_or(0), r.max_value().unwrap_or(0)));
+        // The base is already sorted from the previous rebuild, so only
+        // the (small) staging batch needs sorting; the two sorted runs are
+        // then merged — `O(n + s·log s)` instead of re-sorting all
+        // `n + s` entries — with the prefix maximum of ends recomputed in
+        // the same pass. Ties keep base entries first, matching what a
+        // stable sort of base-then-staging would produce.
+        fn key(r: &RangeSet) -> (u32, u32) {
+            (r.min_value().unwrap_or(0), r.max_value().unwrap_or(0))
+        }
+        let mut staged: Vec<RangeSet> = self.staging.drain(..).collect();
+        staged.sort_by_key(key);
+        let base = std::mem::take(&mut self.base);
+        let mut merged: Vec<Entry> = Vec::with_capacity(base.len() + staged.len());
         let mut prefix_max = 0u32;
-        self.base = all
-            .into_iter()
-            .map(|range| {
-                let start = range.min_value().unwrap_or(0);
-                let end = range.max_value().unwrap_or(0);
-                prefix_max = prefix_max.max(end);
-                Entry {
-                    start,
-                    prefix_max_end: prefix_max,
-                    range,
+        let mut push = |range: RangeSet, merged: &mut Vec<Entry>| {
+            let (start, end) = key(&range);
+            prefix_max = prefix_max.max(end);
+            merged.push(Entry {
+                start,
+                prefix_max_end: prefix_max,
+                range,
+            });
+        };
+        let mut base_it = base.into_iter().peekable();
+        let mut staged_it = staged.into_iter().peekable();
+        loop {
+            match (base_it.peek(), staged_it.peek()) {
+                (Some(b), Some(s)) => {
+                    if key(&b.range) <= key(s) {
+                        push(base_it.next().unwrap().range, &mut merged);
+                    } else {
+                        push(staged_it.next().unwrap(), &mut merged);
+                    }
                 }
-            })
-            .collect();
+                (Some(_), None) => push(base_it.next().unwrap().range, &mut merged),
+                (None, Some(_)) => push(staged_it.next().unwrap(), &mut merged),
+                (None, None) => break,
+            }
+        }
+        self.base = merged;
     }
 
     /// Best match for `query` under `measure` among all indexed ranges
@@ -225,15 +244,35 @@ mod tests {
         }
     }
 
+    /// The structural invariants every rebuild must restore: base sorted
+    /// by (start, end) and `prefix_max_end` a running maximum of ends.
+    fn assert_base_invariants(idx: &IntervalIndex) {
+        let mut prev_key = (0u32, 0u32);
+        let mut prefix_max = 0u32;
+        for e in &idx.base {
+            let k = (
+                e.range.min_value().unwrap_or(0),
+                e.range.max_value().unwrap_or(0),
+            );
+            assert!(k >= prev_key, "base not sorted: {k:?} after {prev_key:?}");
+            assert_eq!(e.start, k.0);
+            prefix_max = prefix_max.max(k.1);
+            assert_eq!(e.prefix_max_end, prefix_max, "prefix max broken at {k:?}");
+            prev_key = k;
+        }
+    }
+
     #[test]
     fn staging_then_rebuild_consistent() {
         let mut idx = IntervalIndex::new();
-        // Force multiple rebuild cycles and query between inserts.
+        // Force multiple rebuild cycles and query between inserts. Widths
+        // vary (including duplicates and nested intervals) so the merge
+        // path exercises ties on `start` resolved by `end`.
         let mut rng = DetRng::new(3);
         let mut all = Vec::new();
         for i in 0..300 {
             let lo = rng.gen_inclusive_u32(0, 900);
-            let range = r(lo, lo + 30);
+            let range = r(lo, lo + 10 + (i % 4) * 20);
             idx.insert(range.clone());
             all.push(range);
             if i % 37 == 0 {
@@ -241,7 +280,44 @@ mod tests {
                 let via_index = idx.best_match(&q, MatchMeasure::Containment).unwrap();
                 let via_scan = best_of(all.iter(), &q, MatchMeasure::Containment).unwrap();
                 assert_eq!(via_index.score, via_scan.score);
+                assert_base_invariants(&idx);
             }
         }
+        assert_base_invariants(&idx);
+        assert_eq!(idx.len(), 300);
+        // Every stored range answers itself exactly under containment.
+        for q in all.iter().take(40) {
+            let m = idx.best_match(q, MatchMeasure::Containment).unwrap();
+            assert_eq!(m.score, 1.0, "self-query for {q} not fully contained");
+        }
+    }
+
+    #[test]
+    fn merge_rebuild_matches_full_resort() {
+        // Drive one index through incremental merge rebuilds and compare
+        // against an index built in a single batch (one big rebuild):
+        // identical base order, keys, and prefix maxima.
+        let mut rng = DetRng::new(11);
+        let ranges: Vec<RangeSet> = (0..500)
+            .map(|i| {
+                let lo = rng.gen_inclusive_u32(0, 900);
+                r(lo, lo + (i % 5) * 17)
+            })
+            .collect();
+        let mut incremental = IntervalIndex::new();
+        for range in &ranges {
+            incremental.insert(range.clone());
+        }
+        let mut batch = IntervalIndex::new();
+        batch.staging = ranges.clone();
+        batch.rebuild();
+        incremental.rebuild(); // flush any trailing staging
+        assert_eq!(incremental.base.len(), batch.base.len());
+        for (a, b) in incremental.base.iter().zip(&batch.base) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.prefix_max_end, b.prefix_max_end);
+            assert_eq!(a.range, b.range);
+        }
+        assert_base_invariants(&incremental);
     }
 }

@@ -54,14 +54,25 @@ pub struct QueryOutcome {
 /// Memoized identifier computation, keyed by the (padded) hashed range.
 ///
 /// Group identifiers depend only on the hash groups, which are fixed at
-/// network construction, so entries never invalidate. Workload traces
+/// network construction, so entries never *invalidate*. Workload traces
 /// repeat ranges heavily (Zipf-style popularity), making this the dominant
 /// saving of the batched query path; the hit/miss counters quantify it.
+///
+/// The cache may be *bounded* ([`SystemConfig::ident_cache_capacity`]),
+/// in which case entries are evicted in FIFO insertion order. FIFO — not
+/// LRU — is deliberate: hits never perturb the eviction order, so the
+/// batched query path can account an entire trace's hits, misses, and
+/// evictions up front and still land on exactly the cache state the
+/// sequential path would (asserted in tests).
 #[derive(Debug, Clone, Default)]
 pub struct IdentifierCache {
     map: FxHashMap<RangeSet, Vec<u32>>,
+    fifo: std::collections::VecDeque<RangeSet>,
+    /// `0` = unbounded.
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl IdentifierCache {
@@ -75,6 +86,16 @@ impl IdentifierCache {
         self.misses
     }
 
+    /// Entries evicted to respect the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of distinct ranges cached.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -84,6 +105,36 @@ impl IdentifierCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Insert a freshly computed entry, evicting FIFO when over capacity.
+    /// Returns the number of evictions performed (0 or 1).
+    fn insert(&mut self, range: RangeSet, ids: Vec<u32>) -> u64 {
+        if self.map.insert(range.clone(), ids).is_none() {
+            self.fifo.push_back(range);
+        }
+        let mut evicted = 0;
+        while self.capacity > 0 && self.map.len() > self.capacity {
+            let oldest = self
+                .fifo
+                .pop_front()
+                .expect("fifo tracks every cached range");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Which identifier kernels the batch hashing phase uses. Both produce
+/// identical values (pinned by tests in `ars_lsh`); the fused kernels are
+/// what `query_batch` runs, the per-function loop is kept so
+/// [`RangeSelectNetwork::query_batch_legacy`] reproduces the pre-sharding
+/// engine for benchmarking.
+#[derive(Debug, Clone, Copy)]
+enum BatchKernels {
+    Fused,
+    PerFunction,
 }
 
 /// Aggregate statistics over a network's lifetime.
@@ -151,6 +202,10 @@ impl RangeSelectNetwork {
             .iter()
             .map(|&id| (id.0, Peer::new(id)))
             .collect();
+        let ident_cache = IdentifierCache {
+            capacity: config.ident_cache_capacity,
+            ..IdentifierCache::default()
+        };
         RangeSelectNetwork {
             config,
             ring,
@@ -158,7 +213,7 @@ impl RangeSelectNetwork {
             groups,
             rng,
             stats: NetworkStats::default(),
-            ident_cache: IdentifierCache::default(),
+            ident_cache,
             telemetry: Telemetry::noop(),
         }
     }
@@ -273,10 +328,19 @@ impl RangeSelectNetwork {
         self.ident_cache.misses += 1;
         self.telemetry.counter_add("core.ident_cache.misses", 1);
         let ids = self.groups.identifiers(hashed_range);
-        self.ident_cache
-            .map
-            .insert(hashed_range.clone(), ids.clone());
+        self.ident_cache_insert(hashed_range.clone(), ids.clone());
         ids
+    }
+
+    /// Insert into the identifier cache, exporting eviction/size telemetry.
+    fn ident_cache_insert(&mut self, range: RangeSet, ids: Vec<u32>) {
+        let evicted = self.ident_cache.insert(range, ids);
+        if evicted > 0 {
+            self.telemetry
+                .counter_add("core.ident_cache.evictions", evicted);
+        }
+        self.telemetry
+            .gauge_set("core.ident_cache.size", self.ident_cache.len() as u64);
     }
 
     /// Everything after identifier computation: routing, matching, caching,
@@ -288,26 +352,47 @@ impl RangeSelectNetwork {
         hashed_range: RangeSet,
         identifiers: Vec<u32>,
     ) -> QueryOutcome {
-        let span = self
-            .telemetry
-            .span("core.query", &[("l", identifiers.len().into())]);
-        // Pick a random origin peer for routing (hop accounting).
+        // Pick a random origin peer for routing (hop accounting) — the one
+        // RNG draw a query makes, which the batched path pre-draws in
+        // trace order before routing in parallel.
         let origin = {
             let ids = self.ring.node_ids();
             ids[self.rng.gen_index(ids.len())]
         };
+        let routes: Vec<(Id, usize)> = identifiers
+            .iter()
+            .map(|&ident| self.ring.lookup(origin, self.place(ident)))
+            .collect();
+        self.finish_query_routed(q, hashed_range, identifiers, routes)
+    }
 
-        // Route each identifier; collect each owner's best bucket match.
-        // An owner without storage state (impossible on a static ring, but
-        // reachable through subclass-style reuse under churn) is skipped
-        // rather than panicking; the outcome records whether *any* owner
-        // was reachable.
+    /// The commit half of a query: matching, caching, stats — with routing
+    /// already resolved. Routing over the static [`Ring`] is pure, so the
+    /// batched path resolves it in a parallel read-only phase against the
+    /// ring snapshot and replays commits here sequentially in trace order;
+    /// outcomes are bit-identical to [`Self::finish_query`] (asserted in
+    /// tests).
+    fn finish_query_routed(
+        &mut self,
+        q: &RangeSet,
+        hashed_range: RangeSet,
+        identifiers: Vec<u32>,
+        routes: Vec<(Id, usize)>,
+    ) -> QueryOutcome {
+        debug_assert_eq!(routes.len(), identifiers.len());
+        let span = self
+            .telemetry
+            .span("core.query", &[("l", identifiers.len().into())]);
+
+        // Collect each owner's best bucket match. An owner without storage
+        // state (impossible on a static ring, but reachable through
+        // subclass-style reuse under churn) is skipped rather than
+        // panicking; the outcome records whether *any* owner was reachable.
         let mut hops = Vec::with_capacity(identifiers.len());
         let mut owners = Vec::with_capacity(identifiers.len());
         let mut reached = 0usize;
         let mut best: Option<Match> = None;
-        for &ident in &identifiers {
-            let (owner, h) = self.ring.lookup(origin, self.place(ident));
+        for (&ident, &(owner, h)) in identifiers.iter().zip(&routes) {
             hops.push(h);
             owners.push(owner);
             self.stats.lookups += 1;
@@ -430,15 +515,105 @@ impl RangeSelectNetwork {
         &self.ident_cache
     }
 
-    /// Execute a slice of queries, hashing in parallel.
+    /// Execute a slice of queries through the sharded batch engine.
     ///
-    /// Identifier computation — the CPU-bound part, `k·l` min-hashes per
-    /// distinct range — is memoized per distinct hashed range and fanned
-    /// across worker threads. Everything stateful (routing RNG, peer
-    /// stores, stats) then runs sequentially in query order, so the
-    /// outcomes, statistics, and cache contents are bit-identical to
+    /// Three phases:
+    ///
+    /// 1. **Parallel hashing** — identifier computation (`k·l` min-hashes
+    ///    per distinct range, via the fused group kernels) is memoized per
+    ///    distinct hashed range and fanned across worker threads; cache
+    ///    accounting (hits, misses, FIFO evictions) is then replayed
+    ///    sequentially in trace order so it lands on the exact state the
+    ///    one-at-a-time path produces.
+    /// 2. **Parallel routing** — origin peers are pre-drawn sequentially
+    ///    (one RNG call per query, trace order), then every distinct
+    ///    `(origin, identifier)` pair is routed once against the immutable
+    ///    ring snapshot across worker threads. Routing over a static
+    ///    [`Ring`] is pure, so parallelism cannot perturb results.
+    /// 3. **Sequential commit** — matching, caching, stats, and telemetry
+    ///    replay in trace order via the routed commit path.
+    ///
+    /// Outcomes, statistics, and cache contents are bit-identical to
     /// calling [`Self::query`] in a loop (asserted in tests).
     pub fn query_batch(&mut self, queries: &[RangeSet]) -> Vec<QueryOutcome> {
+        let (hashed, ids_per_query) = self.batch_resolve_identifiers(queries);
+
+        // Phase 2a: pre-draw origins — the only RNG use on the query path,
+        // consumed in trace order exactly as the sequential path would.
+        let node_ids = self.ring.node_ids();
+        let origins: Vec<Id> = queries
+            .iter()
+            .map(|_| node_ids[self.rng.gen_index(node_ids.len())])
+            .collect();
+
+        // Phase 2b: resolve every distinct (origin, identifier) route once,
+        // in parallel, against the immutable ring.
+        let mut job_of: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        let mut jobs: Vec<(Id, Id)> = Vec::new();
+        for (origin, ids) in origins.iter().zip(&ids_per_query) {
+            for &ident in ids {
+                job_of.entry((origin.0, ident)).or_insert_with(|| {
+                    jobs.push((*origin, self.place(ident)));
+                    jobs.len() - 1
+                });
+            }
+        }
+        let routed = self.route_jobs_parallel(&jobs);
+
+        // Phase 3: sequential commit in trace order.
+        queries
+            .iter()
+            .zip(hashed)
+            .zip(origins)
+            .zip(ids_per_query)
+            .map(|(((q, h), origin), ids)| {
+                let routes: Vec<(Id, usize)> = ids
+                    .iter()
+                    .map(|&ident| routed[job_of[&(origin.0, ident)]])
+                    .collect();
+                self.finish_query_routed(q, h, ids, routes)
+            })
+            .collect()
+    }
+
+    /// The pre-sharding batch engine: identifiers through the
+    /// per-function compiled loop (no fused group kernels), routing and
+    /// commit both sequential — the shape of `query_batch` before the
+    /// sharded engine landed. Kept as the baseline the throughput bench
+    /// compares against; results are bit-identical to [`Self::query`].
+    pub fn query_batch_legacy(&mut self, queries: &[RangeSet]) -> Vec<QueryOutcome> {
+        let (hashed, ids_per_query) =
+            self.batch_resolve_identifiers_with(queries, BatchKernels::PerFunction);
+        queries
+            .iter()
+            .zip(hashed)
+            .zip(ids_per_query)
+            .map(|((q, h), ids)| self.finish_query(q, h, ids))
+            .collect()
+    }
+
+    /// Phase 1 of the batch engine: hash every distinct uncached range in
+    /// parallel, then replay cache accounting (hits, misses, insertions,
+    /// FIFO evictions) sequentially in trace order. Returns the hashed
+    /// ranges and each query's identifiers.
+    ///
+    /// Values are pure functions of the range, so a range the sequential
+    /// path would compute twice (missed, cached, evicted, missed again
+    /// under a capacity bound) is computed once here and reused from a
+    /// batch-local value store — the *accounting* still registers both
+    /// misses.
+    fn batch_resolve_identifiers(
+        &mut self,
+        queries: &[RangeSet],
+    ) -> (Vec<RangeSet>, Vec<Vec<u32>>) {
+        self.batch_resolve_identifiers_with(queries, BatchKernels::Fused)
+    }
+
+    fn batch_resolve_identifiers_with(
+        &mut self,
+        queries: &[RangeSet],
+        kernels: BatchKernels,
+    ) -> (Vec<RangeSet>, Vec<Vec<u32>>) {
         let padding = self.config.padding;
         for q in queries {
             assert!(!q.is_empty(), "cannot query an empty range");
@@ -448,21 +623,19 @@ impl RangeSelectNetwork {
             .map(|q| Self::hashed_range(q, padding))
             .collect();
 
-        // Account hits/misses in query order (first occurrence of a range
-        // is the miss, repeats are hits), exactly as the sequential path
-        // would, and collect the distinct ranges that need computing.
+        // Batch-local value store: every distinct hashed range, valued
+        // from the live cache when present, computed otherwise.
+        let mut values: FxHashMap<&RangeSet, Vec<u32>> = FxHashMap::default();
         let mut todo: Vec<&RangeSet> = Vec::new();
-        {
-            let mut seen: std::collections::HashSet<&RangeSet> = std::collections::HashSet::new();
-            for h in &hashed {
-                if self.ident_cache.map.contains_key(h) || !seen.insert(h) {
-                    self.ident_cache.hits += 1;
-                    self.telemetry.counter_add("core.ident_cache.hits", 1);
-                } else {
-                    self.ident_cache.misses += 1;
-                    self.telemetry.counter_add("core.ident_cache.misses", 1);
-                    todo.push(h);
-                }
+        for h in &hashed {
+            if values.contains_key(h) {
+                continue;
+            }
+            if let Some(ids) = self.ident_cache.map.get(h) {
+                values.insert(h, ids.clone());
+            } else {
+                values.insert(h, Vec::new()); // placeholder, filled below
+                todo.push(h);
             }
         }
 
@@ -490,7 +663,10 @@ impl RangeSelectNetwork {
                             i
                         };
                         let Some(range) = todo.get(i) else { break };
-                        let ids = groups.identifiers(range);
+                        let ids = match kernels {
+                            BatchKernels::Fused => groups.identifiers(range),
+                            BatchKernels::PerFunction => groups.identifiers_per_function(range),
+                        };
                         let _ = tx.send((i, ids));
                     });
                 }
@@ -502,20 +678,68 @@ impl RangeSelectNetwork {
             }
             for (range, ids) in todo.into_iter().zip(results) {
                 let ids = ids.expect("worker delivered every claimed index");
-                self.ident_cache.map.insert(range.clone(), ids);
+                values.insert(range, ids);
             }
         }
 
-        // Sequential finish preserves the RNG draw order and peer-store
-        // mutation order of the one-at-a-time path.
-        queries
-            .iter()
-            .zip(hashed)
-            .map(|(q, h)| {
-                let ids = self.ident_cache.map[&h].clone();
-                self.finish_query(q, h, ids)
-            })
-            .collect()
+        // Replay accounting in trace order against the live cache — the
+        // same hit/miss/insert/evict decisions the sequential path makes,
+        // with identifier values served from the batch-local store.
+        let mut ids_per_query: Vec<Vec<u32>> = Vec::with_capacity(hashed.len());
+        for h in &hashed {
+            if self.ident_cache.map.contains_key(h) {
+                self.ident_cache.hits += 1;
+                self.telemetry.counter_add("core.ident_cache.hits", 1);
+            } else {
+                self.ident_cache.misses += 1;
+                self.telemetry.counter_add("core.ident_cache.misses", 1);
+                self.ident_cache_insert(h.clone(), values[h].clone());
+            }
+            ids_per_query.push(values[h].clone());
+        }
+        (hashed, ids_per_query)
+    }
+
+    /// Resolve a slice of `(origin, placed key)` routing jobs in parallel
+    /// against the immutable ring. Pure; result order matches job order.
+    fn route_jobs_parallel(&self, jobs: &[(Id, Id)]) -> Vec<(Id, usize)> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len());
+        let ring = &self.ring;
+        let next = parking_lot::Mutex::new(0usize);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = {
+                        let mut n = next.lock();
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    let Some(&(origin, key)) = jobs.get(i) else {
+                        break;
+                    };
+                    let _ = tx.send((i, ring.lookup(origin, key)));
+                });
+            }
+        });
+        drop(tx);
+        let mut routed: Vec<(Id, usize)> = vec![(Id(0), 0); jobs.len()];
+        let mut delivered = 0usize;
+        while let Ok((i, route)) = rx.recv() {
+            routed[i] = route;
+            delivered += 1;
+        }
+        assert_eq!(delivered, jobs.len(), "worker delivered every claimed job");
+        routed
     }
 
     /// Store a partition range directly (bypassing the query path) — used
@@ -811,6 +1035,92 @@ mod tests {
             .filter(|e| e.kind == ars_telemetry::EventKind::SpanStart && e.name == "core.query")
             .count();
         assert_eq!(spans, 2 * trace.len());
+    }
+
+    #[test]
+    fn query_batch_legacy_identical_to_sequential() {
+        let config = SystemConfig::default().with_seed(13);
+        let mut seq = RangeSelectNetwork::new(30, config.clone());
+        let mut bat = RangeSelectNetwork::new(30, config);
+        let trace = batch_trace();
+        let out_seq: Vec<QueryOutcome> = trace.iter().map(|q| seq.query(q)).collect();
+        let out_bat = bat.query_batch_legacy(&trace);
+        assert_eq!(out_seq, out_bat);
+        assert_eq!(seq.stats(), bat.stats());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo_and_counts() {
+        // Capacity 2 with a 4-distinct-range trace forces mid-run
+        // evictions and a re-miss on an evicted range.
+        let config = SystemConfig::default()
+            .with_seed(17)
+            .with_ident_cache_capacity(2);
+        let mut n = RangeSelectNetwork::new(20, config);
+        let trace = [r(0, 10), r(20, 30), r(40, 50), r(0, 10)];
+        for q in &trace {
+            n.query(q);
+        }
+        let c = n.identifier_cache();
+        assert_eq!(c.capacity(), 2);
+        assert!(c.len() <= 2);
+        // r(0,10) was evicted by r(40,50) before its repeat: 4 misses.
+        assert_eq!(c.misses(), 4);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
+    fn query_batch_identical_to_sequential_with_bounded_cache() {
+        // The batched engine must replay FIFO eviction exactly: same
+        // outcomes, same hit/miss/eviction counts, same final contents —
+        // including ranges that miss, get cached, get evicted mid-batch,
+        // and miss again.
+        for capacity in [1usize, 2, 3, 7] {
+            let config = SystemConfig::default()
+                .with_seed(23)
+                .with_padding(0.1)
+                .with_ident_cache_capacity(capacity);
+            let mut seq = RangeSelectNetwork::new(30, config.clone());
+            let mut bat = RangeSelectNetwork::new(30, config);
+            let trace = batch_trace();
+            let out_seq: Vec<QueryOutcome> = trace.iter().map(|q| seq.query(q)).collect();
+            let out_bat = bat.query_batch(&trace);
+            assert_eq!(out_seq, out_bat, "outcomes diverged at capacity {capacity}");
+            assert_eq!(seq.stats(), bat.stats());
+            let (sc, bc) = (seq.identifier_cache(), bat.identifier_cache());
+            assert_eq!(sc.hits(), bc.hits(), "capacity {capacity}");
+            assert_eq!(sc.misses(), bc.misses(), "capacity {capacity}");
+            assert_eq!(sc.evictions(), bc.evictions(), "capacity {capacity}");
+            assert_eq!(sc.len(), bc.len(), "capacity {capacity}");
+            assert!(bc.len() <= capacity);
+            assert!(
+                bc.evictions() > 0,
+                "trace must overflow capacity {capacity}"
+            );
+            // Final cached contents are identical, key by key.
+            for (k, v) in &sc.map {
+                assert_eq!(bc.map.get(k), Some(v), "contents diverged at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_cache_exports_size_gauge_and_eviction_counter() {
+        let config = SystemConfig::default()
+            .with_seed(29)
+            .with_ident_cache_capacity(2);
+        let mut n = RangeSelectNetwork::new(20, config);
+        let tel = ars_telemetry::Telemetry::recording();
+        n.set_telemetry(tel.clone());
+        n.query_batch(&[r(0, 10), r(20, 30), r(40, 50), r(0, 10)]);
+        let snap = tel.snapshot();
+        assert_eq!(snap.gauge("core.ident_cache.size"), Some(2));
+        assert_eq!(
+            snap.counter("core.ident_cache.evictions"),
+            n.identifier_cache().evictions()
+        );
+        assert!(n.identifier_cache().evictions() > 0);
     }
 
     #[test]

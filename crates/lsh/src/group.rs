@@ -9,6 +9,7 @@
 //! that curve approximates a step at similarity ≈ 0.9.
 
 use crate::family::{CompiledLshFunction, LshFamilyKind, LshFunction};
+use crate::fused::CompiledGroup;
 use crate::range::RangeSet;
 use ars_common::DetRng;
 
@@ -17,9 +18,13 @@ use ars_common::DetRng;
 pub struct HashGroups {
     kind: LshFamilyKind,
     groups: Vec<Vec<LshFunction>>,
-    /// Value-identical fast evaluators, used by [`HashGroups::identifiers`]
-    /// (the reference path remains available for the ablation bench).
+    /// Value-identical fast evaluators — kept for the per-function
+    /// ablation path ([`HashGroups::identifiers_per_function`]).
     compiled: Vec<Vec<CompiledLshFunction>>,
+    /// Fused structure-of-arrays evaluators, used by
+    /// [`HashGroups::identifiers`] (the reference path remains available
+    /// for the ablation bench).
+    fused: Vec<CompiledGroup>,
 }
 
 impl HashGroups {
@@ -34,14 +39,16 @@ impl HashGroups {
         let groups: Vec<Vec<LshFunction>> = (0..l)
             .map(|_| (0..k).map(|_| LshFunction::random(kind, rng)).collect())
             .collect();
-        let compiled = groups
+        let compiled: Vec<Vec<CompiledLshFunction>> = groups
             .iter()
             .map(|g| g.iter().map(LshFunction::compile).collect())
             .collect();
+        let fused = compiled.iter().map(|g| CompiledGroup::new(g)).collect();
         HashGroups {
             kind,
             groups,
             compiled,
+            fused,
         }
     }
 
@@ -68,9 +75,33 @@ impl HashGroups {
 
     /// Compute the `l` group identifiers for a range set: each is the XOR
     /// of the group's `k` min-hashes. This is the paper's querying-peer
-    /// procedure (§4). Evaluated through the compiled functions (values
+    /// procedure (§4). Evaluated through the fused group kernels (values
     /// identical to [`HashGroups::identifiers_reference`]).
     pub fn identifiers(&self, q: &RangeSet) -> Vec<u32> {
+        let mut out = vec![0u32; self.l()];
+        self.identifiers_into(q, &mut out);
+        out
+    }
+
+    /// Like [`HashGroups::identifiers`] but writing into a caller-provided
+    /// buffer of length `l` — the steady-state query path allocates
+    /// nothing on the heap (for groups up to
+    /// [`crate::fused::FUSED_MAX_K`] functions).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != l` or `q` is empty.
+    pub fn identifiers_into(&self, q: &RangeSet, out: &mut [u32]) {
+        assert_eq!(out.len(), self.l(), "output buffer must have length l");
+        for (o, g) in out.iter_mut().zip(&self.fused) {
+            *o = g.identifier(q);
+        }
+    }
+
+    /// Identifier computation through the per-function compiled loop —
+    /// the pre-fusion fast path, kept as the ablation baseline the
+    /// throughput bench compares against. Values identical to
+    /// [`HashGroups::identifiers`].
+    pub fn identifiers_per_function(&self, q: &RangeSet) -> Vec<u32> {
         self.compiled
             .iter()
             .map(|g| g.iter().fold(0u32, |acc, h| acc ^ h.min_hash(q)))
@@ -87,16 +118,23 @@ impl HashGroups {
             .collect()
     }
 
-    /// Identifier of a single group `i` (0-based).
+    /// Identifier of a single group `i` (0-based). Evaluated through the
+    /// same fused kernel as [`HashGroups::identifiers`], so
+    /// `group_identifier(i, q) == identifiers(q)[i]` always holds (it
+    /// previously went through the uncompiled functions, which are
+    /// value-identical but much slower).
     pub fn group_identifier(&self, i: usize, q: &RangeSet) -> u32 {
-        self.groups[i]
-            .iter()
-            .fold(0u32, |acc, h| acc ^ h.min_hash(q))
+        self.fused[i].identifier(q)
     }
 
     /// Access the raw functions (used by ablation benches).
     pub fn groups(&self) -> &[Vec<LshFunction>] {
         &self.groups
+    }
+
+    /// Access the fused group evaluators (used by ablation benches).
+    pub fn fused_groups(&self) -> &[CompiledGroup] {
+        &self.fused
     }
 }
 
@@ -171,13 +209,62 @@ mod tests {
 
     #[test]
     fn group_identifier_matches_identifiers() {
+        // Pins the bugfix: group_identifier used to evaluate through the
+        // *uncompiled* functions while identifiers used the compiled set;
+        // both now share the fused kernels, for every paper family.
         let mut rng = DetRng::new(4);
-        let g = HashGroups::generate(LshFamilyKind::ApproxMinWise, 3, 4, &mut rng);
-        let q = RangeSet::interval(5, 25);
-        let ids = g.identifiers(&q);
-        for (i, &id) in ids.iter().enumerate() {
-            assert_eq!(id, g.group_identifier(i, &q));
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let g = HashGroups::generate(kind, 3, 4, &mut rng);
+            for q in [
+                RangeSet::interval(5, 25),
+                RangeSet::interval(0, 1000),
+                RangeSet::from_intervals([(10, 40), (500, 700)]),
+            ] {
+                let ids = g.identifiers(&q);
+                for (i, &id) in ids.iter().enumerate() {
+                    assert_eq!(id, g.group_identifier(i, &q), "kind {kind} group {i}");
+                }
+            }
         }
+    }
+
+    #[test]
+    fn fused_identifiers_match_per_function_loop() {
+        let mut rng = DetRng::new(8);
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let g = HashGroups::generate(kind, 6, 3, &mut rng);
+            for q in [
+                RangeSet::interval(30, 50),
+                RangeSet::interval(200, 300),
+                RangeSet::interval(0, 100_000), // wide: kernel fallback
+                RangeSet::from_intervals([(0, 90), (250, 270), (5_000, 9_000)]),
+            ] {
+                assert_eq!(
+                    g.identifiers(&q),
+                    g.identifiers_per_function(&q),
+                    "kind {kind} query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identifiers_into_writes_caller_buffer() {
+        let mut rng = DetRng::new(10);
+        let g = HashGroups::generate(LshFamilyKind::MinWise, 4, 5, &mut rng);
+        let q = RangeSet::interval(30, 50);
+        let mut buf = [0u32; 5];
+        g.identifiers_into(&q, &mut buf);
+        assert_eq!(buf.to_vec(), g.identifiers(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "length l")]
+    fn identifiers_into_rejects_wrong_length() {
+        let mut rng = DetRng::new(10);
+        let g = HashGroups::generate(LshFamilyKind::Linear, 4, 5, &mut rng);
+        let mut buf = [0u32; 4];
+        g.identifiers_into(&RangeSet::interval(0, 10), &mut buf);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod approx;
 pub mod family;
+pub mod fused;
 pub mod group;
 pub mod grp;
 pub mod linear;
@@ -52,6 +53,7 @@ pub mod rangeaware;
 
 pub use approx::ApproxMinWisePerm;
 pub use family::{CompiledLshFunction, LshFamilyKind, LshFunction};
+pub use fused::CompiledGroup;
 pub use group::{match_probability, HashGroups};
 pub use linear::LinearPerm;
 pub use minwise::MinWisePerm;

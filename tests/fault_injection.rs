@@ -274,6 +274,50 @@ proptest! {
             well_formed(&out, 2);
         }
     }
+
+    /// Route-cache equivalence: twin churn networks — one with the Chord
+    /// route cache at an arbitrary capacity — driven through the same
+    /// failures, lookup loss, and resilient query stream produce
+    /// identical outcomes in every field except hop counts, which the
+    /// cache may only lower. The cache is cleared on every membership and
+    /// stabilization event, so no interleaving can make it serve a stale
+    /// owner or change the success/retry pattern.
+    #[test]
+    fn route_cached_queries_equal_uncached_under_arbitrary_churn(
+        victims in 0usize..5,
+        loss in 0.0f64..0.7,
+        capacity in 1usize..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = SystemConfig::default().with_kl(8, 2).with_seed(seed);
+        let mut plain = ChurnNetwork::new(14, base.clone()).expect("growth converges");
+        let mut cached = ChurnNetwork::new(14, base.with_route_cache(capacity))
+            .expect("growth converges");
+        plain.fail_random(victims);
+        cached.fail_random(victims);
+        plain.set_lookup_loss(loss);
+        cached.set_lookup_loss(loss);
+        for (i, q) in trace(8).iter().enumerate() {
+            let a = plain.query_resilient(q);
+            let b = cached.query_resilient(q);
+            prop_assert_eq!(&a.best_match, &b.best_match, "match diverged on query {}", i);
+            prop_assert_eq!(&a.identifiers, &b.identifiers, "identifiers diverged on query {}", i);
+            prop_assert_eq!(a.stored, b.stored, "stored diverged on query {}", i);
+            prop_assert_eq!(a.exact, b.exact, "exact diverged on query {}", i);
+            prop_assert_eq!(a.attempts, b.attempts, "attempts diverged on query {}", i);
+            prop_assert_eq!(
+                a.fell_back_to_source, b.fell_back_to_source,
+                "fallback diverged on query {}", i
+            );
+            prop_assert_eq!(a.hops.len(), b.hops.len(), "lookup count diverged on query {}", i);
+            for (ah, bh) in a.hops.iter().zip(&b.hops) {
+                prop_assert!(bh <= ah, "cache increased hops on query {}", i);
+            }
+        }
+        prop_assert_eq!(plain.total_partitions(), cached.total_partitions());
+        let stats = cached.route_cache_stats();
+        prop_assert!(stats.hits + stats.misses > 0, "cache was never consulted");
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -170,6 +170,41 @@ proptest! {
             prop_assert_eq!(groups.identifiers(&q), groups.identifiers_reference(&q));
         }
     }
+
+    /// The fused single-pass group kernels — whole-group structure-of-
+    /// arrays evaluation with the segment-decomposed bit-table range
+    /// minima — equal the enumeration reference for every paper family,
+    /// over arbitrary multi-interval range sets, through both the fused
+    /// group objects and the zero-allocation `identifiers_into` buffer
+    /// path.
+    #[test]
+    fn fused_group_identifiers_equal_reference(
+        (q, _) in range_set_strategy(),
+        wide_lo in 0u32..100_000,
+        wide_w in 1_000u32..20_000,
+        seed in 0u64..4,
+    ) {
+        prop_assume!(!q.is_empty());
+        // A wide interval forces the multi-segment and kernel-fallback
+        // paths, not just the single-segment shortcut.
+        let wide = q.union(&RangeSet::interval(wide_lo, wide_lo + wide_w));
+        for kind in LshFamilyKind::PAPER_FAMILIES {
+            let mut rng = DetRng::new(seed);
+            let groups = HashGroups::generate(kind, 6, 3, &mut rng);
+            for set in [&q, &wide] {
+                let reference = groups.identifiers_reference(set);
+                let fused: Vec<u32> = groups
+                    .fused_groups()
+                    .iter()
+                    .map(|g| g.identifier(set))
+                    .collect();
+                prop_assert_eq!(&fused, &reference, "fused {} seed {} on {}", kind, seed, set);
+                let mut buf = vec![0u32; reference.len()];
+                groups.identifiers_into(set, &mut buf);
+                prop_assert_eq!(&buf, &reference, "into {} seed {} on {}", kind, seed, set);
+            }
+        }
+    }
 }
 
 /// The seeds `tests/determinism.rs` pins: hash groups drawn from them must
