@@ -296,6 +296,18 @@ impl DynamicNetwork {
         self.alive.iter().map(|&v| Id(v)).collect()
     }
 
+    /// A fully converged static [`crate::Ring`] over the current alive
+    /// membership — an immutable snapshot that concurrent workers can
+    /// route against without taking the dynamic network's locks.
+    /// Lookups on the snapshot reach the same owners as
+    /// [`Self::true_owner`] at the moment it was taken.
+    ///
+    /// # Panics
+    /// Panics if no node is alive.
+    pub fn snapshot_ring(&self) -> crate::Ring {
+        crate::Ring::new(self.node_ids())
+    }
+
     /// True ground-truth owner of `key` given the current alive set.
     pub fn true_owner(&self, key: Id) -> Id {
         match self.alive.range(key.0..).next() {
@@ -780,6 +792,18 @@ mod tests {
         assert_eq!(net.true_owner(Id(7)), Id(42));
         let (owner, _) = net.lookup(Id(42), Id(1000)).unwrap();
         assert_eq!(owner, Id(42));
+    }
+
+    #[test]
+    fn snapshot_ring_agrees_with_true_owner() {
+        let net = grow_network(40, 99);
+        let ring = net.snapshot_ring();
+        assert_eq!(ring.len(), net.len());
+        let mut probe = DetRng::new(5);
+        for _ in 0..200 {
+            let key = Id(probe.next_u32());
+            assert_eq!(ring.successor_of(key), net.true_owner(key));
+        }
     }
 
     #[test]

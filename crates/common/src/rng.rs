@@ -138,6 +138,40 @@ impl DetRng {
     pub fn fork(&mut self) -> DetRng {
         DetRng::new(self.next_u64())
     }
+
+    /// Split `n` parallel streams off this generator **without advancing
+    /// it**.
+    ///
+    /// Stream 0 is an exact continuation of `self`: its draws are the very
+    /// numbers `self` would produce next. Streams `1..n` are independently
+    /// seeded from a splitmix64 fold of the current state plus the stream
+    /// index, so stream `i` is the same generator regardless of `n` — a
+    /// consumer that splits 4 streams and one that splits 7 agree on
+    /// streams 0–3. This is what lets a sharded engine hand each shard its
+    /// own deterministic stream while shard 0 (and therefore a one-shard
+    /// configuration) reproduces the unsplit sequence bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn split_streams(&self, n: usize) -> Vec<DetRng> {
+        assert!(n > 0, "must split at least one stream");
+        let mut streams = Vec::with_capacity(n);
+        streams.push(self.clone());
+        // Fold the four state words into one seed base; each extra stream
+        // re-mixes the base with its index. Seeding through `DetRng::new`
+        // adds a second splitmix expansion, decorrelating the streams from
+        // each other and from stream 0's raw xoshiro outputs.
+        let mut base = 0x243F_6A88_85A3_08D3u64; // arbitrary fixed tag
+        for &w in &self.s {
+            base ^= w;
+            splitmix64(&mut base);
+        }
+        for i in 1..n as u64 {
+            let mut s = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            streams.push(DetRng::new(splitmix64(&mut s)));
+        }
+        streams
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +276,55 @@ mod tests {
         let mut c2 = root.fork();
         let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_stream_zero_continues_parent_exactly() {
+        let parent = DetRng::new(2024);
+        let mut streams = parent.clone().split_streams(4);
+        let mut unsplit = parent;
+        for _ in 0..256 {
+            assert_eq!(streams[0].next_u64(), unsplit.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_does_not_advance_parent() {
+        let mut parent = DetRng::new(7);
+        let before = parent.clone();
+        let _ = parent.split_streams(8);
+        assert_eq!(parent, before);
+        assert_eq!(parent.next_u64(), before.clone().next_u64());
+    }
+
+    #[test]
+    fn split_streams_pairwise_independent() {
+        let parent = DetRng::new(99);
+        let streams = parent.split_streams(5);
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                let mut a = streams[i].clone();
+                let mut b = streams[j].clone();
+                let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+                assert_eq!(same, 0, "streams {i} and {j} correlate");
+            }
+        }
+    }
+
+    #[test]
+    fn split_stream_i_independent_of_count() {
+        let parent = DetRng::new(314);
+        let four = parent.split_streams(4);
+        let seven = parent.split_streams(7);
+        for i in 0..4 {
+            assert_eq!(four[i], seven[i], "stream {i} depends on split count");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn split_zero_streams_rejected() {
+        DetRng::new(1).split_streams(0);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use crate::bucket::Match;
 use crate::config::{Placement, SystemConfig};
 use crate::durable::{decode_range, digest_bytes, encode_range};
-use crate::network::QueryOutcome;
+use crate::network::{QueryOutcome, RangeSelectNetwork};
 use crate::peer::Peer;
 use crate::resilient::{ResilienceStats, RetryPolicy};
 use ars_chord::dynamic::ChordError;
@@ -222,6 +222,26 @@ impl ChurnNetwork {
     /// Total cached partition copies across alive peers.
     pub fn total_partitions(&self) -> usize {
         self.storage.values().map(Peer::partition_count).sum()
+    }
+
+    /// Freeze the current alive membership and storage into a static
+    /// [`RangeSelectNetwork`] snapshot — the bridge that lets the
+    /// concurrent engine ([`crate::engine`]) serve a heavy query burst
+    /// against a churning network's state: the ring snapshot and cloned
+    /// peer stores are immutable to ongoing churn, workers route against
+    /// them lock-free, and every engine shard derives its RNG stream
+    /// (via [`ars_common::DetRng::split_streams`]) from this network's
+    /// generator state at freeze time, so a freeze is reproducible from
+    /// the seed and event history alone. Stats and the identifier cache
+    /// start empty; the live network is unaffected.
+    pub fn freeze(&self) -> RangeSelectNetwork {
+        RangeSelectNetwork::from_parts(
+            self.config.clone(),
+            self.chord.snapshot_ring(),
+            self.storage.clone(),
+            self.groups.clone(),
+            self.rng.clone(),
+        )
     }
 
     fn place(&self, identifier: u32) -> Id {
@@ -980,6 +1000,50 @@ mod tests {
         let hit = net.query(&r(30, 50)).unwrap();
         assert!(hit.exact);
         assert_eq!(hit.recall, 1.0);
+    }
+
+    #[test]
+    fn freeze_snapshots_membership_and_storage() {
+        let mut net = small_net(4);
+        net.query(&r(30, 50)).unwrap();
+        let frozen = net.freeze();
+        assert_eq!(frozen.len(), net.len());
+        assert_eq!(frozen.total_partitions(), net.total_partitions());
+        // The snapshot is decoupled: querying the live network afterwards
+        // does not change the frozen state.
+        net.query(&r(500, 600)).unwrap();
+        assert_eq!(frozen.stats().queries, 0);
+    }
+
+    #[test]
+    fn frozen_network_serves_cached_partitions_through_the_engine() {
+        let mut net = small_net(7);
+        net.query(&r(200, 260)).unwrap(); // cache the partition while live
+        let mut frozen = net.freeze();
+        let outs = frozen.query_batch_concurrent_with(
+            &[r(200, 260), r(200, 260)],
+            crate::engine::EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 8,
+            },
+        );
+        assert!(
+            outs.iter().any(|o| o.exact),
+            "partition cached on the live network must be found in the frozen snapshot"
+        );
+        // Frozen runs are deterministic: an identical freeze replays
+        // identically (per-shard RNG streams derive from the same state).
+        let mut again = net.freeze();
+        let outs2 = again.query_batch_concurrent_with(
+            &[r(200, 260), r(200, 260)],
+            crate::engine::EngineOptions {
+                shards: 4,
+                workers: 3,
+                queue: 8,
+            },
+        );
+        assert_eq!(outs, outs2, "freeze + engine must be schedule-invariant");
     }
 
     #[test]

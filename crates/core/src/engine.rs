@@ -1,0 +1,1082 @@
+//! The concurrent query engine: per-shard commit, per-shard RNG streams,
+//! and a long-lived worker-peer runtime.
+//!
+//! The batched path in [`crate::network`] parallelizes hashing and
+//! routing but funnels every commit through one sequential loop to keep
+//! outcomes bit-identical to [`RangeSelectNetwork::query`] — so batch
+//! throughput is bounded by a single core no matter how wide the machine
+//! is. This module breaks that ceiling by partitioning the network's
+//! mutable state into **shards**:
+//!
+//! * each shard owns a slice of the peers (by ring position), a segment
+//!   of the [`IdentifierCache`], and its own [`NetworkStats`]
+//!   accumulator, each behind its own lock;
+//! * each shard has its own deterministic RNG stream, split off the
+//!   network generator with [`DetRng::split_streams`] — stream 0
+//!   continues the unsplit sequence exactly, so a one-shard engine
+//!   reproduces the sequential path bit for bit;
+//! * commits for queries touching disjoint shard sets run concurrently;
+//!   commits that share a shard are ordered by a deterministic
+//!   conflict scheduler (below), so the *outcomes* are identical across
+//!   every worker count and schedule.
+//!
+//! # The equivalence contract
+//!
+//! The sequential path promises bit-identical replay. The engine relaxes
+//! that to **equivalent modulo commutative reordering**:
+//!
+//! * **Outcomes are schedule-invariant** — in fact bitwise equal across
+//!   worker counts at a fixed shard count, because the conflict scheduler
+//!   commits any two queries that touch a common shard in submission
+//!   order, and commits that reorder freely touch disjoint peers (so
+//!   they commute). Changing the *shard count* changes which RNG stream
+//!   draws each origin, so outcomes differ across shard counts only in
+//!   origin-dependent fields (`hops`); identifiers, owners, matches, and
+//!   recall are origin-independent.
+//! * **Ledgers are conserved** — stats and cache counters are sums of
+//!   commutative additions, so the merged totals are schedule-invariant:
+//!   cache `hits + misses == queries`, `lookups == Σ attempts`, etc. The
+//!   hit/miss *split* may differ from the sequential path when two
+//!   workers race to first-compute the same range (both miss), which is
+//!   exactly the relaxation; with one worker the split is sequential-
+//!   exact (asserted in tests).
+//!
+//! # The conflict scheduler
+//!
+//! Prepared queries enroll in submission order; each shard keeps a FIFO
+//! of enrolled queries that will touch it. A query commits when it is at
+//! the head of *every* owner shard's FIFO — so two conflicting commits
+//! always apply in submission order (making the outcome deterministic),
+//! while disjoint commits proceed concurrently on different workers, and
+//! a shard's locks are, by construction, never contended by two commits
+//! at once.
+//!
+//! # The worker runtime
+//!
+//! [`QueryEngine`] spawns a pool of worker threads draining jobs from a
+//! shared MPMC channel: `Prepare` jobs hash/route a query against the
+//! immutable ring snapshot, `Commit` jobs apply scheduled commits.
+//! [`QueryEngine::submit`] applies backpressure once
+//! [`SystemConfig::engine_queue`] queries are in flight;
+//! [`QueryEngine::drain`] waits the pipeline empty and returns outcomes
+//! in submission order; [`QueryEngine::shutdown`] joins the workers and
+//! merges the shards back into the donor network (peers union, stats and
+//! cache-counter sums, cache segments re-concatenated and re-trimmed,
+//! RNG advanced to stream 0's final state).
+
+use crate::config::SystemConfig;
+use crate::network::{
+    commit_routed, place_identifier, IdentifierCache, NetworkStats, PeerAccess, QueryOutcome,
+    RangeSelectNetwork, StatsSink,
+};
+use crate::peer::Peer;
+use ars_chord::{Id, Ring};
+use ars_common::{DetRng, FxHashMap, FxHasher};
+use ars_lsh::{HashGroups, RangeSet};
+use ars_telemetry::Telemetry;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Tuning knobs for one engine run, normally taken from
+/// [`SystemConfig`] via [`EngineOptions::from_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// State shards (≥ 1). Fixed per run; affects RNG stream assignment,
+    /// so outcomes are comparable only at equal shard counts.
+    pub shards: usize,
+    /// Worker threads; `0` = one per available core. Never affects
+    /// outcomes, only the schedule.
+    pub workers: usize,
+    /// In-flight query bound before [`QueryEngine::submit`] blocks.
+    pub queue: usize,
+}
+
+impl EngineOptions {
+    /// The engine knobs configured on `config`.
+    pub fn from_config(config: &SystemConfig) -> EngineOptions {
+        EngineOptions {
+            shards: config.engine_shards,
+            workers: config.engine_workers,
+            queue: config.engine_queue,
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Shard index owning ring position `peer` out of `nshards`.
+/// Multiplicative hashing spreads the (already SHA-1-uniformized) ring
+/// positions evenly regardless of shard count.
+fn shard_of(peer: u32, nshards: usize) -> usize {
+    (((peer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % nshards as u64) as usize
+}
+
+/// Identifier-cache segment for a hashed range.
+fn segment_of(range: &RangeSet, nshards: usize) -> usize {
+    let mut h = FxHasher::default();
+    range.hash(&mut h);
+    (h.finish() % nshards as u64) as usize
+}
+
+/// Telemetry counter names for the first shards (counter names must be
+/// `&'static str`); shards beyond the table still merge into the global
+/// stats, they just don't get an individual counter.
+const SHARD_QUERIES: [&str; 8] = [
+    "engine.shard0.queries",
+    "engine.shard1.queries",
+    "engine.shard2.queries",
+    "engine.shard3.queries",
+    "engine.shard4.queries",
+    "engine.shard5.queries",
+    "engine.shard6.queries",
+    "engine.shard7.queries",
+];
+const SHARD_CACHE_HITS: [&str; 8] = [
+    "engine.shard0.cache.hits",
+    "engine.shard1.cache.hits",
+    "engine.shard2.cache.hits",
+    "engine.shard3.cache.hits",
+    "engine.shard4.cache.hits",
+    "engine.shard5.cache.hits",
+    "engine.shard6.cache.hits",
+    "engine.shard7.cache.hits",
+];
+const SHARD_CACHE_MISSES: [&str; 8] = [
+    "engine.shard0.cache.misses",
+    "engine.shard1.cache.misses",
+    "engine.shard2.cache.misses",
+    "engine.shard3.cache.misses",
+    "engine.shard4.cache.misses",
+    "engine.shard5.cache.misses",
+    "engine.shard6.cache.misses",
+    "engine.shard7.cache.misses",
+];
+const SHARD_CACHE_EVICTIONS: [&str; 8] = [
+    "engine.shard0.cache.evictions",
+    "engine.shard1.cache.evictions",
+    "engine.shard2.cache.evictions",
+    "engine.shard3.cache.evictions",
+    "engine.shard4.cache.evictions",
+    "engine.shard5.cache.evictions",
+    "engine.shard6.cache.evictions",
+    "engine.shard7.cache.evictions",
+];
+
+/// The peers owned by one shard.
+struct ShardCore {
+    peers: FxHashMap<u32, Peer>,
+}
+
+/// One independently locked slice of the network's mutable state. The
+/// three locks are separate on purpose: prepares touch only `cache`,
+/// commits touch `core` (and `stats` transiently), so the two pipeline
+/// stages never contend with each other.
+struct Shard {
+    core: Mutex<ShardCore>,
+    cache: Mutex<IdentifierCache>,
+    stats: Mutex<NetworkStats>,
+}
+
+/// A query after its read-only phase: hashed, identifiers resolved (via
+/// the owning cache segment), routes computed against the immutable ring
+/// — everything the commit needs, plus the sorted set of shards it will
+/// lock.
+struct Prepared {
+    query: RangeSet,
+    hashed: RangeSet,
+    identifiers: Vec<u32>,
+    routes: Vec<(Id, usize)>,
+    shards: Vec<usize>,
+}
+
+/// The shared immutable context plus the shard array.
+struct EngineCore {
+    config: SystemConfig,
+    groups: HashGroups,
+    ring: Ring,
+    telemetry: Telemetry,
+    nshards: usize,
+    shards: Vec<Shard>,
+}
+
+/// [`PeerAccess`] over the locked owner shards of one commit.
+struct ShardedView<'a> {
+    nshards: usize,
+    guards: Vec<(usize, MutexGuard<'a, ShardCore>)>,
+}
+
+impl PeerAccess for ShardedView<'_> {
+    fn peer(&self, id: u32) -> Option<&Peer> {
+        let s = shard_of(id, self.nshards);
+        let (_, guard) = self.guards.iter().find(|(i, _)| *i == s)?;
+        guard.peers.get(&id)
+    }
+    fn peer_mut(&mut self, id: u32) -> Option<&mut Peer> {
+        let s = shard_of(id, self.nshards);
+        let (_, guard) = self.guards.iter_mut().find(|(i, _)| *i == s)?;
+        guard.peers.get_mut(&id)
+    }
+}
+
+/// [`StatsSink`] routing lookup counts to the owner's shard and query
+/// counts to the query's home shard (`seq % nshards`). Each add takes
+/// the target shard's stats lock transiently; adds commute, so placement
+/// plus merge reproduces the global totals.
+struct ShardStats<'a> {
+    shards: &'a [Shard],
+    nshards: usize,
+    home: usize,
+}
+
+impl StatsSink for ShardStats<'_> {
+    fn on_lookup(&mut self, owner: Id, hops: usize) {
+        let mut stats = self.shards[shard_of(owner.0, self.nshards)].stats.lock();
+        stats.lookups += 1;
+        stats.total_hops += hops as u64;
+    }
+    fn on_query(&mut self, matched: bool, exact: bool, stored: bool) {
+        let mut stats = self.shards[self.home].stats.lock();
+        stats.queries += 1;
+        if matched {
+            stats.matched += 1;
+        }
+        if exact {
+            stats.exact += 1;
+        }
+        if stored {
+            stats.stored += 1;
+        }
+    }
+}
+
+impl EngineCore {
+    /// Partition `net`'s mutable state (peers, identifier cache) into
+    /// `nshards` shards, leaving the network hollow until
+    /// [`Self::reassemble`] puts everything back.
+    fn from_network(net: &mut RangeSelectNetwork, nshards: usize) -> EngineCore {
+        let mut peer_maps: Vec<FxHashMap<u32, Peer>> =
+            (0..nshards).map(|_| FxHashMap::default()).collect();
+        for (id, peer) in net.peers.drain() {
+            peer_maps[shard_of(id, nshards)].insert(id, peer);
+        }
+        let segments = net
+            .ident_cache
+            .split_segments(nshards, |r| segment_of(r, nshards));
+        let shards = peer_maps
+            .into_iter()
+            .zip(segments)
+            .map(|(peers, cache)| Shard {
+                core: Mutex::new(ShardCore { peers }),
+                cache: Mutex::new(cache),
+                stats: Mutex::new(NetworkStats::default()),
+            })
+            .collect();
+        EngineCore {
+            config: net.config.clone(),
+            groups: net.groups.clone(),
+            ring: net.ring.clone(),
+            telemetry: net.telemetry.clone(),
+            nshards,
+            shards,
+        }
+    }
+
+    /// The read-only phase: pad, resolve identifiers through the owning
+    /// cache segment, route every identifier from `origin` against the
+    /// immutable ring, and record which shards the commit will touch.
+    fn prepare(&self, q: &RangeSet, origin: Id) -> Prepared {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        let hashed = if self.config.padding > 0.0 {
+            q.pad(self.config.padding)
+        } else {
+            q.clone()
+        };
+        let segment = segment_of(&hashed, self.nshards);
+        let cached = {
+            let mut cache = self.shards[segment].cache.lock();
+            match cache.get_hit(&hashed) {
+                Some(ids) => {
+                    self.telemetry.counter_add("core.ident_cache.hits", 1);
+                    Some(ids)
+                }
+                None => {
+                    cache.note_miss();
+                    self.telemetry.counter_add("core.ident_cache.misses", 1);
+                    None
+                }
+            }
+        };
+        let identifiers = match cached {
+            Some(ids) => ids,
+            None => {
+                // Hash outside the lock — the k·l min-hashes dominate the
+                // prepare cost and are pure. Two workers racing on the
+                // same fresh range both miss (the relaxation); `insert`
+                // deduplicates the entry itself.
+                let ids = self.groups.identifiers(&hashed);
+                let evicted = self.shards[segment]
+                    .cache
+                    .lock()
+                    .insert(hashed.clone(), ids.clone());
+                if evicted > 0 {
+                    self.telemetry
+                        .counter_add("core.ident_cache.evictions", evicted);
+                }
+                ids
+            }
+        };
+        let routes: Vec<(Id, usize)> = identifiers
+            .iter()
+            .map(|&ident| {
+                self.ring
+                    .lookup(origin, place_identifier(&self.config, ident))
+            })
+            .collect();
+        let mut shards: Vec<usize> = routes
+            .iter()
+            .map(|&(owner, _)| shard_of(owner.0, self.nshards))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        Prepared {
+            query: q.clone(),
+            hashed,
+            identifiers,
+            routes,
+            shards,
+        }
+    }
+
+    /// Apply one scheduled commit: lock the owner shards, replay the
+    /// shared commit procedure against the sharded view. The conflict
+    /// scheduler guarantees no other in-flight commit holds any of these
+    /// shards, so the locks are uncontended by construction.
+    fn commit(&self, seq: u64, prepared: Prepared) -> QueryOutcome {
+        let guards: Vec<(usize, MutexGuard<'_, ShardCore>)> = prepared
+            .shards
+            .iter()
+            .map(|&s| (s, self.shards[s].core.lock()))
+            .collect();
+        let mut view = ShardedView {
+            nshards: self.nshards,
+            guards,
+        };
+        let mut stats = ShardStats {
+            shards: &self.shards,
+            nshards: self.nshards,
+            home: (seq % self.nshards as u64) as usize,
+        };
+        commit_routed(
+            &self.config,
+            &self.telemetry,
+            &mut view,
+            &mut stats,
+            &prepared.query,
+            prepared.hashed,
+            prepared.identifiers,
+            prepared.routes,
+            false,
+        )
+    }
+
+    /// Merge the shards back into `net`: peers union, per-shard stats and
+    /// cache counters summed (exported as `engine.shardN.*` telemetry
+    /// counters for the first shards), cache segments re-concatenated in
+    /// shard order and re-trimmed to the global capacity.
+    fn reassemble(self, net: &mut RangeSelectNetwork) {
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            let core = shard.core.into_inner();
+            net.peers.extend(core.peers);
+            let stats = shard.stats.into_inner();
+            if stats.queries > 0 && i < SHARD_QUERIES.len() {
+                self.telemetry.counter_add(SHARD_QUERIES[i], stats.queries);
+            }
+            net.stats.merge(&stats);
+            let segment = shard.cache.into_inner();
+            if i < SHARD_QUERIES.len() {
+                if segment.hits() > 0 {
+                    self.telemetry
+                        .counter_add(SHARD_CACHE_HITS[i], segment.hits());
+                }
+                if segment.misses() > 0 {
+                    self.telemetry
+                        .counter_add(SHARD_CACHE_MISSES[i], segment.misses());
+                }
+                if segment.evictions() > 0 {
+                    self.telemetry
+                        .counter_add(SHARD_CACHE_EVICTIONS[i], segment.evictions());
+                }
+            }
+            net.ident_cache.absorb(segment);
+        }
+        self.telemetry
+            .gauge_set("core.ident_cache.size", net.ident_cache.len() as u64);
+    }
+}
+
+/// The deterministic conflict scheduler. Queries enroll strictly in
+/// submission order (`watermark`), joining the FIFO of every shard their
+/// commit will touch; a query is dispatched for commit once it heads all
+/// of its FIFOs, and on completion releases its successors.
+struct Sched {
+    /// Next sequence number to enroll; prepares finishing out of order
+    /// park in `pending` until their turn.
+    watermark: u64,
+    pending: FxHashMap<u64, Prepared>,
+    /// Enrolled but not yet committed.
+    enrolled: FxHashMap<u64, Prepared>,
+    /// Per-shard FIFOs of enrolled sequence numbers.
+    queues: Vec<VecDeque<u64>>,
+    /// Enrolled queries → number of owner FIFOs they do not yet head.
+    blocked: FxHashMap<u64, usize>,
+}
+
+impl Sched {
+    fn new(nshards: usize) -> Sched {
+        Sched {
+            watermark: 0,
+            pending: FxHashMap::default(),
+            enrolled: FxHashMap::default(),
+            queues: (0..nshards).map(|_| VecDeque::new()).collect(),
+            blocked: FxHashMap::default(),
+        }
+    }
+}
+
+/// Work items on the engine channel.
+enum Job {
+    /// Hash + route query `seq` from the given origin.
+    Prepare(u64, RangeSet, Id),
+    /// Apply the scheduled commit of query `seq`.
+    Commit(u64),
+    /// Worker shutdown (one per worker).
+    Stop,
+}
+
+/// State shared between the controller and the workers.
+struct Shared {
+    core: EngineCore,
+    sched: Mutex<Sched>,
+    tx: crossbeam::channel::Sender<Job>,
+    results: Mutex<FxHashMap<u64, QueryOutcome>>,
+    /// In-flight query count, guarded by a std mutex so the controller
+    /// can block on the condvar for backpressure and drain.
+    flow: StdMutex<usize>,
+    flow_cv: Condvar,
+    queue_cap: usize,
+}
+
+impl Shared {
+    /// Enroll newly prepared queries in submission order and dispatch any
+    /// that are immediately unblocked.
+    fn enroll(&self, seq: u64, prepared: Prepared) {
+        let mut sched = self.sched.lock();
+        sched.pending.insert(seq, prepared);
+        loop {
+            let next = sched.watermark;
+            let Some(prepared) = sched.pending.remove(&next) else {
+                break;
+            };
+            sched.watermark += 1;
+            let mut waits = 0usize;
+            for &s in &prepared.shards {
+                sched.queues[s].push_back(next);
+                if sched.queues[s].len() > 1 {
+                    waits += 1;
+                }
+            }
+            sched.enrolled.insert(next, prepared);
+            if waits == 0 {
+                let _ = self.tx.send(Job::Commit(next));
+            } else {
+                sched.blocked.insert(next, waits);
+            }
+        }
+    }
+
+    /// Pop `seq` from its owner FIFOs and dispatch any successor that
+    /// now heads all of its own.
+    fn release(&self, seq: u64, owner_shards: &[usize]) {
+        let mut sched = self.sched.lock();
+        for &s in owner_shards {
+            let popped = sched.queues[s].pop_front();
+            debug_assert_eq!(popped, Some(seq), "commit out of shard-FIFO order");
+            if let Some(&next) = sched.queues[s].front() {
+                let waits = sched
+                    .blocked
+                    .get_mut(&next)
+                    .expect("waiting query has a blocked entry");
+                *waits -= 1;
+                if *waits == 0 {
+                    sched.blocked.remove(&next);
+                    let _ = self.tx.send(Job::Commit(next));
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
+    loop {
+        match rx.recv() {
+            Err(_) | Ok(Job::Stop) => break,
+            Ok(Job::Prepare(seq, query, origin)) => {
+                let prepared = shared.core.prepare(&query, origin);
+                shared.enroll(seq, prepared);
+            }
+            Ok(Job::Commit(seq)) => {
+                let prepared = shared
+                    .sched
+                    .lock()
+                    .enrolled
+                    .remove(&seq)
+                    .expect("scheduled commit was enrolled");
+                let owner_shards = prepared.shards.clone();
+                let outcome = shared.core.commit(seq, prepared);
+                shared.release(seq, &owner_shards);
+                shared.results.lock().insert(seq, outcome);
+                let mut inflight = shared.flow.lock().unwrap_or_else(|e| e.into_inner());
+                *inflight -= 1;
+                drop(inflight);
+                shared.flow_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A long-lived concurrent query engine over a [`RangeSelectNetwork`].
+///
+/// [`Self::launch`] takes the network by value, partitions its state
+/// into shards, and spawns the worker pool; [`Self::submit`] feeds
+/// queries (blocking once the in-flight bound is hit);
+/// [`Self::drain`] waits for quiescence and returns outcomes in
+/// submission order; [`Self::shutdown`] merges everything back and
+/// returns the network, which then behaves as if the engine's queries
+/// had run through it directly (modulo the documented relaxations).
+///
+/// ```
+/// use ars_core::engine::{EngineOptions, QueryEngine};
+/// use ars_core::{RangeSelectNetwork, SystemConfig};
+/// use ars_lsh::RangeSet;
+///
+/// let net = RangeSelectNetwork::new(50, SystemConfig::default());
+/// let mut engine = QueryEngine::launch(
+///     net,
+///     EngineOptions { shards: 4, workers: 2, queue: 64 },
+/// );
+/// engine.submit(&RangeSet::interval(30, 50));
+/// engine.submit(&RangeSet::interval(30, 50));
+/// let (net, outcomes) = engine.shutdown();
+/// assert_eq!(outcomes.len(), 2);
+/// assert_eq!(net.stats().queries, 2);
+/// ```
+pub struct QueryEngine {
+    shared: Arc<Shared>,
+    donor: RangeSelectNetwork,
+    streams: Vec<DetRng>,
+    next_seq: u64,
+    drained_upto: u64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// Partition `net` into shards and spawn the worker pool.
+    ///
+    /// # Panics
+    /// Panics if `opts.shards` or `opts.queue` is zero.
+    pub fn launch(mut net: RangeSelectNetwork, opts: EngineOptions) -> QueryEngine {
+        assert!(opts.shards >= 1, "engine needs at least 1 shard");
+        assert!(opts.queue >= 1, "engine queue must admit at least 1 query");
+        let nworkers = opts.resolved_workers();
+        let streams = net.rng.split_streams(opts.shards);
+        let core = EngineCore::from_network(&mut net, opts.shards);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let shared = Arc::new(Shared {
+            core,
+            sched: Mutex::new(Sched::new(opts.shards)),
+            tx,
+            results: Mutex::new(FxHashMap::default()),
+            flow: StdMutex::new(0),
+            flow_cv: Condvar::new(),
+            queue_cap: opts.queue,
+        });
+        let workers = (0..nworkers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        QueryEngine {
+            shared,
+            donor: net,
+            streams,
+            next_seq: 0,
+            drained_upto: 0,
+            workers,
+        }
+    }
+
+    /// Submit a query, blocking while the in-flight bound is reached.
+    /// Returns the query's sequence number (its index in drain order).
+    /// The origin peer is drawn here, from the home shard's RNG stream,
+    /// so draws happen in submission order regardless of schedule.
+    ///
+    /// # Panics
+    /// Panics if `q` is empty.
+    pub fn submit(&mut self, q: &RangeSet) -> u64 {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let home = (seq % self.streams.len() as u64) as usize;
+        let origin = {
+            let node_ids = self.shared.core.ring.node_ids();
+            node_ids[self.streams[home].gen_index(node_ids.len())]
+        };
+        {
+            let mut inflight = self.shared.flow.lock().unwrap_or_else(|e| e.into_inner());
+            while *inflight >= self.shared.queue_cap {
+                inflight = self
+                    .shared
+                    .flow_cv
+                    .wait(inflight)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            *inflight += 1;
+        }
+        self.shared
+            .tx
+            .send(Job::Prepare(seq, q.clone(), origin))
+            .expect("engine workers alive");
+        seq
+    }
+
+    /// Queries submitted but not yet committed.
+    pub fn in_flight(&self) -> usize {
+        *self.shared.flow.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wait until every submitted query has committed, then return their
+    /// outcomes in submission order (only those not already drained).
+    pub fn drain(&mut self) -> Vec<QueryOutcome> {
+        {
+            let mut inflight = self.shared.flow.lock().unwrap_or_else(|e| e.into_inner());
+            while *inflight > 0 {
+                inflight = self
+                    .shared
+                    .flow_cv
+                    .wait(inflight)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let mut results = self.shared.results.lock();
+        let outcomes = (self.drained_upto..self.next_seq)
+            .map(|seq| results.remove(&seq).expect("committed query has a result"))
+            .collect();
+        self.drained_upto = self.next_seq;
+        outcomes
+    }
+
+    /// Drain, stop the workers, and merge the shards back into the
+    /// network. Returns the network and any outcomes not yet drained.
+    pub fn shutdown(mut self) -> (RangeSelectNetwork, Vec<QueryOutcome>) {
+        let outcomes = self.drain();
+        for _ in 0..self.workers.len() {
+            let _ = self.shared.tx.send(Job::Stop);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("joined workers released the engine state");
+        let mut net = self.donor;
+        shared.core.reassemble(&mut net);
+        // Advance the network generator to stream 0's final state: a
+        // later plain `query` continues the deterministic sequence.
+        net.rng = self.streams.swap_remove(0);
+        (net, outcomes)
+    }
+}
+
+impl RangeSelectNetwork {
+    /// The engine's single-threaded inline reference: the same shard
+    /// partitioning, per-shard RNG streams, cache segments, and commit
+    /// procedure as [`Self::query_batch_concurrent`], executed one query
+    /// at a time in submission order on the calling thread. This is the
+    /// oracle the schedule-invariance suite compares the concurrent
+    /// engine against; with `shards == 1` it reproduces [`Self::query`]
+    /// run in a loop bit for bit (outcomes, stats, and cache accounting).
+    pub fn query_trace_sharded(
+        &mut self,
+        queries: &[RangeSet],
+        shards: usize,
+    ) -> Vec<QueryOutcome> {
+        assert!(shards >= 1, "engine needs at least 1 shard");
+        let mut streams = self.rng.split_streams(shards);
+        let core = EngineCore::from_network(self, shards);
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for (seq, q) in queries.iter().enumerate() {
+            let home = seq % shards;
+            let origin = {
+                let node_ids = core.ring.node_ids();
+                node_ids[streams[home].gen_index(node_ids.len())]
+            };
+            let prepared = core.prepare(q, origin);
+            outcomes.push(core.commit(seq as u64, prepared));
+        }
+        core.reassemble(self);
+        self.rng = streams.swap_remove(0);
+        outcomes
+    }
+
+    /// Run `queries` through the concurrent engine with a single worker —
+    /// sharded state, pipelined prepare/commit, sequential-exact cache
+    /// accounting. Outcomes are bitwise equal to
+    /// [`Self::query_trace_sharded`] at the same shard count.
+    pub fn query_batch_sharded(
+        &mut self,
+        queries: &[RangeSet],
+        shards: usize,
+    ) -> Vec<QueryOutcome> {
+        let opts = EngineOptions {
+            shards,
+            workers: 1,
+            queue: self.config.engine_queue,
+        };
+        self.query_batch_concurrent_with(queries, opts)
+    }
+
+    /// Run `queries` through the concurrent engine configured by
+    /// [`SystemConfig`] (`engine_shards` / `engine_workers` /
+    /// `engine_queue`). Outcomes are schedule-invariant: bitwise equal
+    /// across worker counts, equal to [`Self::query_trace_sharded`] at
+    /// the same shard count.
+    pub fn query_batch_concurrent(&mut self, queries: &[RangeSet]) -> Vec<QueryOutcome> {
+        let opts = EngineOptions::from_config(&self.config);
+        self.query_batch_concurrent_with(queries, opts)
+    }
+
+    /// [`Self::query_batch_concurrent`] with explicit engine options.
+    pub fn query_batch_concurrent_with(
+        &mut self,
+        queries: &[RangeSet],
+        opts: EngineOptions,
+    ) -> Vec<QueryOutcome> {
+        let telemetry = self.telemetry.clone();
+        let span = telemetry.span(
+            "engine.batch",
+            &[
+                ("queries", queries.len().into()),
+                ("shards", opts.shards.into()),
+                ("workers", opts.resolved_workers().into()),
+            ],
+        );
+        let net = std::mem::replace(self, RangeSelectNetwork::placeholder());
+        let mut engine = QueryEngine::launch(net, opts);
+        for q in queries {
+            engine.submit(q);
+        }
+        let (net, outcomes) = engine.shutdown();
+        *self = net;
+        telemetry.span_end(span, &[("queries", outcomes.len().into())]);
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: u32, hi: u32) -> RangeSet {
+        RangeSet::interval(lo, hi)
+    }
+
+    fn trace() -> Vec<RangeSet> {
+        let mut qs = Vec::new();
+        for i in 0..60u32 {
+            let lo = (i * 41) % 900;
+            qs.push(r(lo, lo + 12 + (i % 5) * 25));
+            if i % 4 == 0 {
+                qs.push(r(100, 160)); // popular repeat
+            }
+        }
+        qs
+    }
+
+    #[test]
+    fn shard_of_in_bounds_and_spread() {
+        for nshards in [1usize, 2, 4, 7, 16] {
+            let mut seen = vec![false; nshards];
+            for p in 0..10_000u32 {
+                let s = shard_of(p.wrapping_mul(2_654_435_761), nshards);
+                assert!(s < nshards);
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{nshards} shards not all hit");
+        }
+    }
+
+    #[test]
+    fn single_shard_engine_reproduces_sequential_accounting() {
+        // Satellite: one shard == the old global cache + global RNG,
+        // exactly — outcomes (including hops), stats, and every cache
+        // counter.
+        for capacity in [0usize, 3] {
+            let config = SystemConfig::default()
+                .with_seed(77)
+                .with_padding(0.1)
+                .with_ident_cache_capacity(capacity);
+            let mut seq = RangeSelectNetwork::new(40, config.clone());
+            let mut eng = RangeSelectNetwork::new(40, config);
+            let qs = trace();
+            let out_seq: Vec<QueryOutcome> = qs.iter().map(|q| seq.query(q)).collect();
+            let out_eng = eng.query_trace_sharded(&qs, 1);
+            assert_eq!(out_seq, out_eng, "capacity {capacity}");
+            assert_eq!(seq.stats(), eng.stats());
+            let (sc, ec) = (seq.identifier_cache(), eng.identifier_cache());
+            assert_eq!(sc.hits(), ec.hits());
+            assert_eq!(sc.misses(), ec.misses());
+            assert_eq!(sc.evictions(), ec.evictions());
+            assert_eq!(sc.len(), ec.len());
+            // And the engine-run network continues the same RNG stream.
+            assert_eq!(seq.query(&r(5, 50)), eng.query(&r(5, 50)));
+        }
+    }
+
+    #[test]
+    fn single_worker_engine_matches_inline_reference() {
+        for shards in [1usize, 2, 4, 7] {
+            let config = SystemConfig::default().with_seed(21);
+            let mut inline = RangeSelectNetwork::new(40, config.clone());
+            let mut engine = RangeSelectNetwork::new(40, config);
+            let qs = trace();
+            let out_inline = inline.query_trace_sharded(&qs, shards);
+            let out_engine = engine.query_batch_sharded(&qs, shards);
+            assert_eq!(out_inline, out_engine, "shards {shards}");
+            assert_eq!(inline.stats(), engine.stats());
+            assert_eq!(
+                inline.identifier_cache().hits(),
+                engine.identifier_cache().hits(),
+                "single worker prepares in submission order"
+            );
+            assert_eq!(
+                inline.identifier_cache().misses(),
+                engine.identifier_cache().misses()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_outcomes_invariant_across_worker_counts() {
+        let shards = 4;
+        let qs = trace();
+        let reference = {
+            let mut net = RangeSelectNetwork::new(40, SystemConfig::default().with_seed(33));
+            net.query_trace_sharded(&qs, shards)
+        };
+        for workers in [1usize, 2, 3, 8] {
+            let mut net = RangeSelectNetwork::new(40, SystemConfig::default().with_seed(33));
+            let opts = EngineOptions {
+                shards,
+                workers,
+                queue: 64,
+            };
+            let out = net.query_batch_concurrent_with(&qs, opts);
+            assert_eq!(reference, out, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn concurrent_conserves_cache_ledger() {
+        let qs = trace();
+        let mut net = RangeSelectNetwork::new(40, SystemConfig::default().with_seed(9));
+        let opts = EngineOptions {
+            shards: 4,
+            workers: 4,
+            queue: 32,
+        };
+        let out = net.query_batch_concurrent_with(&qs, opts);
+        assert_eq!(out.len(), qs.len());
+        let cache = net.identifier_cache();
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            qs.len() as u64,
+            "each query does exactly one cache lookup"
+        );
+        assert_eq!(net.stats().queries, qs.len() as u64);
+        assert_eq!(
+            net.stats().lookups,
+            out.iter().map(|o| o.attempts as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn streaming_submit_drain_shutdown() {
+        let config = SystemConfig::default().with_seed(55);
+        let net = RangeSelectNetwork::new(30, config.clone());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 8,
+            },
+        );
+        let qs = trace();
+        let (head, tail) = qs.split_at(qs.len() / 2);
+        for q in head {
+            engine.submit(q);
+        }
+        let first = engine.drain();
+        assert_eq!(first.len(), head.len());
+        assert_eq!(engine.in_flight(), 0);
+        for q in tail {
+            engine.submit(q);
+        }
+        let (net, second) = engine.shutdown();
+        assert_eq!(second.len(), tail.len());
+        assert_eq!(net.stats().queries, qs.len() as u64);
+
+        // The streamed run equals one batched run of the whole trace.
+        let mut batched = RangeSelectNetwork::new(30, config);
+        let out = batched.query_batch_concurrent_with(
+            &qs,
+            EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 8,
+            },
+        );
+        let streamed: Vec<QueryOutcome> = first.into_iter().chain(second).collect();
+        assert_eq!(out, streamed);
+        assert_eq!(batched.stats(), net.stats());
+    }
+
+    #[test]
+    fn tiny_queue_backpressure_makes_progress() {
+        let net = RangeSelectNetwork::new(20, SystemConfig::default().with_seed(3));
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 1,
+            },
+        );
+        for q in trace() {
+            engine.submit(&q);
+            assert!(engine.in_flight() <= 1);
+        }
+        let (net, out) = engine.shutdown();
+        assert_eq!(out.len(), trace().len());
+        assert_eq!(net.stats().queries, trace().len() as u64);
+    }
+
+    #[test]
+    fn empty_batch_is_identity() {
+        let config = SystemConfig::default().with_seed(13);
+        let mut a = RangeSelectNetwork::new(25, config.clone());
+        let mut b = RangeSelectNetwork::new(25, config);
+        let out = a.query_batch_concurrent_with(
+            &[],
+            EngineOptions {
+                shards: 8,
+                workers: 2,
+                queue: 4,
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(a.stats().queries, 0);
+        // State roundtrips: identical subsequent behaviour.
+        assert_eq!(a.query(&r(1, 40)), b.query(&r(1, 40)));
+    }
+
+    #[test]
+    fn network_usable_after_concurrent_batch() {
+        // `query_batch_concurrent` swaps the network out and back in; a
+        // plain query afterwards must see the cached partitions.
+        let mut net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(71));
+        net.query_batch_concurrent_with(
+            &[r(200, 260), r(200, 260)],
+            EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 16,
+            },
+        );
+        let out = net.query(&r(200, 260));
+        assert!(out.exact, "partition cached by the engine must be found");
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_totals() {
+        let mut net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(17));
+        let tel = ars_telemetry::Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let qs = trace();
+        net.query_batch_concurrent_with(
+            &qs,
+            EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 32,
+            },
+        );
+        let snap = tel.snapshot();
+        let per_shard: u64 = (0..4).map(|i| snap.counter(SHARD_QUERIES[i])).sum();
+        assert_eq!(per_shard, qs.len() as u64);
+        let hits: u64 = (0..4).map(|i| snap.counter(SHARD_CACHE_HITS[i])).sum();
+        let misses: u64 = (0..4).map(|i| snap.counter(SHARD_CACHE_MISSES[i])).sum();
+        assert_eq!(hits, net.identifier_cache().hits());
+        assert_eq!(misses, net.identifier_cache().misses());
+        assert_eq!(hits + misses, qs.len() as u64);
+    }
+
+    #[test]
+    fn engine_emits_batch_span_not_query_spans() {
+        let mut net = RangeSelectNetwork::new(20, SystemConfig::default().with_seed(5));
+        let tel = ars_telemetry::Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        net.query_batch_concurrent_with(
+            &trace(),
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 16,
+            },
+        );
+        let starts: Vec<_> = tel
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == ars_telemetry::EventKind::SpanStart)
+            .collect();
+        assert_eq!(starts.len(), 1, "one engine.batch span, no per-query spans");
+        assert_eq!(starts[0].name, "engine.batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn engine_rejects_empty_range() {
+        let net = RangeSelectNetwork::new(5, SystemConfig::default());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 1,
+                queue: 4,
+            },
+        );
+        engine.submit(&RangeSet::empty());
+    }
+}

@@ -36,6 +36,7 @@ pub mod churn;
 pub mod config;
 pub mod data;
 pub mod durable;
+pub mod engine;
 pub mod exact;
 pub mod index;
 pub mod multiattr;
@@ -51,9 +52,10 @@ pub use churn::{ChurnNetwork, InventoryEntry, RepairRound};
 pub use config::{MatchMeasure, SystemConfig};
 pub use data::DataNetwork;
 pub use durable::DurabilityConfig;
+pub use engine::{EngineOptions, QueryEngine};
 pub use exact::ExactMatchNetwork;
 pub use multiattr::{MultiAttrNetwork, MultiRange};
-pub use network::{NetworkStats, QueryOutcome, RangeSelectNetwork};
+pub use network::{BatchTimings, NetworkStats, QueryOutcome, RangeSelectNetwork};
 pub use peer::Peer;
 pub use proto::{ProtoNetwork, ThreadedProtoNetwork};
 pub use recall::{recall_curve, similarity_histogram, RECALL_THRESHOLDS};

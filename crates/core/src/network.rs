@@ -51,6 +51,21 @@ pub struct QueryOutcome {
     pub fell_back_to_source: bool,
 }
 
+/// Wall-clock seconds each stage of a [`RangeSelectNetwork::query_batch`]
+/// call spent — the instrumentation that makes the commit bottleneck
+/// visible in `BENCH_throughput.json` (ISSUE 6 satellite): hashing and
+/// routing parallelize, the commit stage is the sequential residue the
+/// concurrent engine ([`crate::engine`]) exists to break up.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchTimings {
+    /// Phase 1: identifier hashing (parallel) + cache-accounting replay.
+    pub hash_secs: f64,
+    /// Phase 2: origin pre-draw + parallel routing of distinct jobs.
+    pub route_secs: f64,
+    /// Phase 3: sequential commit in trace order.
+    pub commit_secs: f64,
+}
+
 /// Memoized identifier computation, keyed by the (padded) hashed range.
 ///
 /// Group identifiers depend only on the hash groups, which are fixed at
@@ -66,7 +81,7 @@ pub struct QueryOutcome {
 /// sequential path would (asserted in tests).
 #[derive(Debug, Clone, Default)]
 pub struct IdentifierCache {
-    map: FxHashMap<RangeSet, Vec<u32>>,
+    pub(crate) map: FxHashMap<RangeSet, Vec<u32>>,
     fifo: std::collections::VecDeque<RangeSet>,
     /// `0` = unbounded.
     capacity: usize,
@@ -106,9 +121,17 @@ impl IdentifierCache {
         self.map.is_empty()
     }
 
+    /// An empty cache with the given capacity (`0` = unbounded).
+    pub(crate) fn with_capacity(capacity: usize) -> IdentifierCache {
+        IdentifierCache {
+            capacity,
+            ..IdentifierCache::default()
+        }
+    }
+
     /// Insert a freshly computed entry, evicting FIFO when over capacity.
     /// Returns the number of evictions performed (0 or 1).
-    fn insert(&mut self, range: RangeSet, ids: Vec<u32>) -> u64 {
+    pub(crate) fn insert(&mut self, range: RangeSet, ids: Vec<u32>) -> u64 {
         if self.map.insert(range.clone(), ids).is_none() {
             self.fifo.push_back(range);
         }
@@ -123,6 +146,75 @@ impl IdentifierCache {
             evicted += 1;
         }
         evicted
+    }
+
+    /// Look up with hit accounting; `None` leaves the miss for the caller
+    /// to record once the identifiers are computed.
+    pub(crate) fn get_hit(&mut self, range: &RangeSet) -> Option<Vec<u32>> {
+        let ids = self.map.get(range)?;
+        self.hits += 1;
+        Some(ids.clone())
+    }
+
+    /// Record a miss (the caller computed identifiers itself).
+    pub(crate) fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Partition the cached entries into `n` segments by `seg_of`,
+    /// preserving FIFO order within each segment. Entries move out of
+    /// `self`; the hit/miss/eviction counters stay behind (segments start
+    /// at zero so their counts read as deltas to fold back via
+    /// [`Self::absorb`]). Each segment gets capacity `ceil(capacity / n)`
+    /// — so a single segment keeps the exact original bound, and `n`
+    /// segments jointly bound the entry count by at most `n - 1` over the
+    /// original (re-trimmed on absorb).
+    pub(crate) fn split_segments(
+        &mut self,
+        n: usize,
+        seg_of: impl Fn(&RangeSet) -> usize,
+    ) -> Vec<IdentifierCache> {
+        let per_seg = if self.capacity == 0 {
+            0
+        } else {
+            self.capacity.div_ceil(n).max(1)
+        };
+        let mut segments: Vec<IdentifierCache> = (0..n)
+            .map(|_| IdentifierCache::with_capacity(per_seg))
+            .collect();
+        for range in self.fifo.drain(..) {
+            if let Some(ids) = self.map.remove(&range) {
+                let seg = &mut segments[seg_of(&range)];
+                seg.fifo.push_back(range.clone());
+                seg.map.insert(range, ids);
+            }
+        }
+        segments
+    }
+
+    /// Fold a segment produced by [`Self::split_segments`] back in:
+    /// entries re-append in the segment's FIFO order, counters add, and
+    /// the merged cache re-trims to its own capacity (counting those
+    /// trims as evictions).
+    pub(crate) fn absorb(&mut self, mut segment: IdentifierCache) {
+        self.hits += segment.hits;
+        self.misses += segment.misses;
+        self.evictions += segment.evictions;
+        while let Some(range) = segment.fifo.pop_front() {
+            if let Some(ids) = segment.map.remove(&range) {
+                if self.map.insert(range.clone(), ids).is_none() {
+                    self.fifo.push_back(range);
+                }
+            }
+        }
+        while self.capacity > 0 && self.map.len() > self.capacity {
+            let oldest = self
+                .fifo
+                .pop_front()
+                .expect("fifo tracks every cached range");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
     }
 }
 
@@ -154,17 +246,227 @@ pub struct NetworkStats {
     pub total_hops: u64,
 }
 
+impl NetworkStats {
+    /// Add another accumulator's counts into this one. Every field is a
+    /// sum, so merging per-shard accumulators in any order yields the
+    /// totals a single global accumulator would have collected — the
+    /// conserved-ledger property the concurrent engine relies on.
+    pub fn merge(&mut self, other: &NetworkStats) {
+        self.queries += other.queries;
+        self.matched += other.matched;
+        self.exact += other.exact;
+        self.stored += other.stored;
+        self.lookups += other.lookups;
+        self.total_hops += other.total_hops;
+    }
+}
+
+/// Mutable access to peers by ring position — the seam that lets the
+/// commit procedure ([`commit_routed`]) run against either the network's
+/// global peer map or the concurrent engine's locked shard views.
+pub(crate) trait PeerAccess {
+    /// The peer at `id`, if present.
+    fn peer(&self, id: u32) -> Option<&Peer>;
+    /// Mutable access to the peer at `id`, if present.
+    fn peer_mut(&mut self, id: u32) -> Option<&mut Peer>;
+}
+
+impl PeerAccess for FxHashMap<u32, Peer> {
+    fn peer(&self, id: u32) -> Option<&Peer> {
+        self.get(&id)
+    }
+    fn peer_mut(&mut self, id: u32) -> Option<&mut Peer> {
+        self.get_mut(&id)
+    }
+}
+
+/// Where the commit procedure records its counters — the global
+/// [`NetworkStats`] on the sequential path, per-shard accumulators in the
+/// concurrent engine. Every update is an addition, so any sink placement
+/// that eventually sums preserves the ledgers.
+pub(crate) trait StatsSink {
+    /// One identifier lookup routed in `hops` overlay hops to `owner`.
+    fn on_lookup(&mut self, owner: Id, hops: usize);
+    /// One query finished.
+    fn on_query(&mut self, matched: bool, exact: bool, stored: bool);
+}
+
+impl StatsSink for NetworkStats {
+    fn on_lookup(&mut self, _owner: Id, hops: usize) {
+        self.lookups += 1;
+        self.total_hops += hops as u64;
+    }
+    fn on_query(&mut self, matched: bool, exact: bool, stored: bool) {
+        self.queries += 1;
+        if matched {
+            self.matched += 1;
+        }
+        if exact {
+            self.exact += 1;
+        }
+        if stored {
+            self.stored += 1;
+        }
+    }
+}
+
+/// Ring position of a partition identifier under `config`'s placement
+/// policy. Pure; shared by the network and the concurrent engine.
+pub(crate) fn place_identifier(config: &SystemConfig, identifier: u32) -> Id {
+    match config.placement {
+        Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes())),
+        Placement::Direct => Id(identifier),
+    }
+}
+
+/// The commit half of a query — matching, caching, stats, telemetry —
+/// against any [`PeerAccess`]/[`StatsSink`] pair. Extracted from the
+/// sequential path verbatim so the engine's sharded commits replay the
+/// exact same per-owner update order; [`RangeSelectNetwork`]'s own
+/// `finish_query_routed` delegates here, keeping the two paths one body
+/// of code.
+///
+/// `emit_span` gates the per-query `core.query` span: the sequential path
+/// emits it (trace tests pin the event order), the concurrent engine does
+/// not (span begin/end interleaving across workers would make event logs
+/// schedule-dependent; counters and histograms are order-free).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_routed<P: PeerAccess, S: StatsSink>(
+    config: &SystemConfig,
+    telemetry: &Telemetry,
+    peers: &mut P,
+    stats: &mut S,
+    q: &RangeSet,
+    hashed_range: RangeSet,
+    identifiers: Vec<u32>,
+    routes: Vec<(Id, usize)>,
+    emit_span: bool,
+) -> QueryOutcome {
+    debug_assert_eq!(routes.len(), identifiers.len());
+    let span = if emit_span {
+        Some(telemetry.span("core.query", &[("l", identifiers.len().into())]))
+    } else {
+        None
+    };
+
+    // Collect each owner's best bucket match. An owner without storage
+    // state (impossible on a static ring, but reachable through
+    // subclass-style reuse under churn) is skipped rather than
+    // panicking; the outcome records whether *any* owner was reachable.
+    let mut hops = Vec::with_capacity(identifiers.len());
+    let mut owners = Vec::with_capacity(identifiers.len());
+    let mut reached = 0usize;
+    let mut best: Option<Match> = None;
+    for (&ident, &(owner, h)) in identifiers.iter().zip(&routes) {
+        hops.push(h);
+        owners.push(owner);
+        stats.on_lookup(owner, h);
+        telemetry.record("core.lookup.hops", h as u64);
+        let Some(peer) = peers.peer(owner.0) else {
+            continue;
+        };
+        reached += 1;
+        let scan_len = if config.use_local_index {
+            peer.partition_count()
+        } else {
+            peer.bucket(ident).map(|b| b.len()).unwrap_or(0)
+        };
+        telemetry.record("core.bucket.scan_len", scan_len as u64);
+        let candidate = if config.use_local_index {
+            peer.best_across_buckets(&hashed_range, config.matching)
+        } else {
+            peer.best_in_bucket(ident, &hashed_range, config.matching)
+        };
+        if let Some(m) = candidate {
+            let better = match &best {
+                None => true,
+                Some(b) => m.score > b.score,
+            };
+            if better {
+                best = Some(m);
+            }
+        }
+    }
+
+    let exact = best
+        .as_ref()
+        .map(|m| m.range == hashed_range)
+        .unwrap_or(false);
+
+    // Cache on miss: store the (padded) partition at all l owners.
+    let mut stored = false;
+    if config.cache_on_miss && !exact {
+        for (&ident, owner) in identifiers.iter().zip(&owners) {
+            if let Some(peer) = peers.peer_mut(owner.0) {
+                stored |= peer.store(ident, hashed_range.clone());
+            }
+        }
+    }
+
+    // Score the match against the *original* query: similarity for
+    // Figs. 6–7, recall for Figs. 8–10.
+    let (similarity, recall, best_match) = match &best {
+        Some(m) => (
+            q.jaccard(&m.range),
+            q.containment_in(&m.range),
+            Some(m.range.clone()),
+        ),
+        None => (0.0, 0.0, None),
+    };
+
+    let mut distinct = owners.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    stats.on_query(best_match.is_some(), exact, stored);
+
+    telemetry.counter_add("core.queries", 1);
+    if best_match.is_some() {
+        // ×1000 fixed point: histograms store u64.
+        telemetry.record("core.query.jaccard", (similarity * 1000.0) as u64);
+        telemetry.record("core.query.recall", (recall * 1000.0) as u64);
+    }
+    if let Some(span) = span {
+        telemetry.span_end(
+            span,
+            &[
+                ("matched", best_match.is_some().into()),
+                ("exact", exact.into()),
+                ("stored", stored.into()),
+                ("similarity", similarity.into()),
+                ("recall", recall.into()),
+                ("fallback", (reached == 0).into()),
+            ],
+        );
+    }
+
+    let attempts = identifiers.len();
+    QueryOutcome {
+        query: q.clone(),
+        best_match,
+        similarity,
+        recall,
+        exact,
+        stored,
+        hops,
+        identifiers,
+        peers_contacted: distinct.len(),
+        attempts,
+        fell_back_to_source: reached == 0,
+    }
+}
+
 /// The full simulated system.
 #[derive(Debug, Clone)]
 pub struct RangeSelectNetwork {
-    config: SystemConfig,
-    ring: Ring,
-    peers: FxHashMap<u32, Peer>,
-    groups: HashGroups,
-    rng: DetRng,
-    stats: NetworkStats,
-    ident_cache: IdentifierCache,
-    telemetry: Telemetry,
+    pub(crate) config: SystemConfig,
+    pub(crate) ring: Ring,
+    pub(crate) peers: FxHashMap<u32, Peer>,
+    pub(crate) groups: HashGroups,
+    pub(crate) rng: DetRng,
+    pub(crate) stats: NetworkStats,
+    pub(crate) ident_cache: IdentifierCache,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl RangeSelectNetwork {
@@ -218,6 +520,39 @@ impl RangeSelectNetwork {
         }
     }
 
+    /// Assemble a network from pre-existing parts — used by
+    /// [`crate::ChurnNetwork::freeze`] to wrap a ring snapshot and cloned
+    /// storage into a static network that the concurrent engine can run.
+    /// Stats and the identifier cache start empty; telemetry starts as a
+    /// no-op (install one with [`Self::set_telemetry`]).
+    pub(crate) fn from_parts(
+        config: SystemConfig,
+        ring: Ring,
+        peers: FxHashMap<u32, Peer>,
+        groups: HashGroups,
+        rng: DetRng,
+    ) -> RangeSelectNetwork {
+        let ident_cache = IdentifierCache::with_capacity(config.ident_cache_capacity);
+        RangeSelectNetwork {
+            config,
+            ring,
+            peers,
+            groups,
+            rng,
+            stats: NetworkStats::default(),
+            ident_cache,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// A minimal throwaway network — the engine swaps one in while it
+    /// temporarily owns the real network's state (see
+    /// [`crate::engine::QueryEngine`]). Cheap to build: one peer, one
+    /// hash function.
+    pub(crate) fn placeholder() -> RangeSelectNetwork {
+        RangeSelectNetwork::new(1, SystemConfig::default().with_kl(1, 1))
+    }
+
     /// Install a telemetry sink. Queries emit `core.*` counters
     /// (`core.queries`, `core.ident_cache.hits`/`.misses`), histograms
     /// (`core.lookup.hops`, `core.bucket.scan_len`, `core.query.jaccard`,
@@ -266,10 +601,7 @@ impl RangeSelectNetwork {
     /// Ring position of a partition identifier under the configured
     /// placement policy.
     pub fn place(&self, identifier: u32) -> Id {
-        match self.config.placement {
-            Placement::Uniformized => Id(ars_chord::sha1::sha1_u32(&identifier.to_be_bytes())),
-            Placement::Direct => Id(identifier),
-        }
+        place_identifier(&self.config, identifier)
     }
 
     /// A peer's storage state.
@@ -379,127 +711,17 @@ impl RangeSelectNetwork {
         identifiers: Vec<u32>,
         routes: Vec<(Id, usize)>,
     ) -> QueryOutcome {
-        debug_assert_eq!(routes.len(), identifiers.len());
-        let span = self
-            .telemetry
-            .span("core.query", &[("l", identifiers.len().into())]);
-
-        // Collect each owner's best bucket match. An owner without storage
-        // state (impossible on a static ring, but reachable through
-        // subclass-style reuse under churn) is skipped rather than
-        // panicking; the outcome records whether *any* owner was reachable.
-        let mut hops = Vec::with_capacity(identifiers.len());
-        let mut owners = Vec::with_capacity(identifiers.len());
-        let mut reached = 0usize;
-        let mut best: Option<Match> = None;
-        for (&ident, &(owner, h)) in identifiers.iter().zip(&routes) {
-            hops.push(h);
-            owners.push(owner);
-            self.stats.lookups += 1;
-            self.stats.total_hops += h as u64;
-            self.telemetry.record("core.lookup.hops", h as u64);
-            let Some(peer) = self.peers.get(&owner.0) else {
-                continue;
-            };
-            reached += 1;
-            let scan_len = if self.config.use_local_index {
-                peer.partition_count()
-            } else {
-                peer.bucket(ident).map(|b| b.len()).unwrap_or(0)
-            };
-            self.telemetry
-                .record("core.bucket.scan_len", scan_len as u64);
-            let candidate = if self.config.use_local_index {
-                peer.best_across_buckets(&hashed_range, self.config.matching)
-            } else {
-                peer.best_in_bucket(ident, &hashed_range, self.config.matching)
-            };
-            if let Some(m) = candidate {
-                let better = match &best {
-                    None => true,
-                    Some(b) => m.score > b.score,
-                };
-                if better {
-                    best = Some(m);
-                }
-            }
-        }
-
-        let exact = best
-            .as_ref()
-            .map(|m| m.range == hashed_range)
-            .unwrap_or(false);
-
-        // Cache on miss: store the (padded) partition at all l owners.
-        let mut stored = false;
-        if self.config.cache_on_miss && !exact {
-            for (&ident, owner) in identifiers.iter().zip(&owners) {
-                if let Some(peer) = self.peers.get_mut(&owner.0) {
-                    stored |= peer.store(ident, hashed_range.clone());
-                }
-            }
-        }
-
-        // Score the match against the *original* query: similarity for
-        // Figs. 6–7, recall for Figs. 8–10.
-        let (similarity, recall, best_match) = match &best {
-            Some(m) => (
-                q.jaccard(&m.range),
-                q.containment_in(&m.range),
-                Some(m.range.clone()),
-            ),
-            None => (0.0, 0.0, None),
-        };
-
-        let mut distinct = owners.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-
-        self.stats.queries += 1;
-        if best_match.is_some() {
-            self.stats.matched += 1;
-        }
-        if exact {
-            self.stats.exact += 1;
-        }
-        if stored {
-            self.stats.stored += 1;
-        }
-
-        self.telemetry.counter_add("core.queries", 1);
-        if best_match.is_some() {
-            // ×1000 fixed point: histograms store u64.
-            self.telemetry
-                .record("core.query.jaccard", (similarity * 1000.0) as u64);
-            self.telemetry
-                .record("core.query.recall", (recall * 1000.0) as u64);
-        }
-        self.telemetry.span_end(
-            span,
-            &[
-                ("matched", best_match.is_some().into()),
-                ("exact", exact.into()),
-                ("stored", stored.into()),
-                ("similarity", similarity.into()),
-                ("recall", recall.into()),
-                ("fallback", (reached == 0).into()),
-            ],
-        );
-
-        let attempts = identifiers.len();
-        QueryOutcome {
-            query: q.clone(),
-            best_match,
-            similarity,
-            recall,
-            exact,
-            stored,
-            hops,
+        commit_routed(
+            &self.config,
+            &self.telemetry,
+            &mut self.peers,
+            &mut self.stats,
+            q,
+            hashed_range,
             identifiers,
-            peers_contacted: distinct.len(),
-            attempts,
-            fell_back_to_source: reached == 0,
-        }
+            routes,
+            true,
+        )
     }
 
     /// Run a whole trace, returning per-query outcomes.
@@ -536,7 +758,16 @@ impl RangeSelectNetwork {
     /// Outcomes, statistics, and cache contents are bit-identical to
     /// calling [`Self::query`] in a loop (asserted in tests).
     pub fn query_batch(&mut self, queries: &[RangeSet]) -> Vec<QueryOutcome> {
+        self.query_batch_timed(queries).0
+    }
+
+    /// [`Self::query_batch`] with per-stage wall-clock timings — the
+    /// throughput bench uses this to report where a batch's time goes
+    /// (hash / route / commit) instead of a single opaque number.
+    pub fn query_batch_timed(&mut self, queries: &[RangeSet]) -> (Vec<QueryOutcome>, BatchTimings) {
+        let t0 = std::time::Instant::now();
         let (hashed, ids_per_query) = self.batch_resolve_identifiers(queries);
+        let t1 = std::time::Instant::now();
 
         // Phase 2a: pre-draw origins — the only RNG use on the query path,
         // consumed in trace order exactly as the sequential path would.
@@ -559,9 +790,10 @@ impl RangeSelectNetwork {
             }
         }
         let routed = self.route_jobs_parallel(&jobs);
+        let t2 = std::time::Instant::now();
 
         // Phase 3: sequential commit in trace order.
-        queries
+        let outcomes = queries
             .iter()
             .zip(hashed)
             .zip(origins)
@@ -573,7 +805,13 @@ impl RangeSelectNetwork {
                     .collect();
                 self.finish_query_routed(q, h, ids, routes)
             })
-            .collect()
+            .collect();
+        let timings = BatchTimings {
+            hash_secs: (t1 - t0).as_secs_f64(),
+            route_secs: (t2 - t1).as_secs_f64(),
+            commit_secs: t2.elapsed().as_secs_f64(),
+        };
+        (outcomes, timings)
     }
 
     /// The pre-sharding batch engine: identifiers through the

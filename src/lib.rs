@@ -62,8 +62,9 @@ pub mod prelude {
     pub use ars_chord::{DynamicNetwork, Id, Ring};
     pub use ars_common::{DetRng, Histogram, Summary};
     pub use ars_core::{
-        ChurnNetwork, DataNetwork, DurabilityConfig, MatchMeasure, ProtoNetwork, QueryOutcome,
-        RangeSelectNetwork, RepairRound, ResilienceStats, RetryPolicy, SystemConfig,
+        BatchTimings, ChurnNetwork, DataNetwork, DurabilityConfig, EngineOptions, MatchMeasure,
+        ProtoNetwork, QueryEngine, QueryOutcome, RangeSelectNetwork, RepairRound, ResilienceStats,
+        RetryPolicy, SystemConfig,
     };
     pub use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
     pub use ars_relation::{

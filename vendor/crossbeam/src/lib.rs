@@ -1,21 +1,46 @@
 //! Offline stub of the `crossbeam` crate — see `vendor/README.md`.
 //!
-//! Provides `crossbeam::channel` with the `unbounded` MPSC channel surface
-//! this workspace uses, delegating to `std::sync::mpsc`. Semantics match
-//! where observable: FIFO per sender, `send` fails only after the receiver
-//! is dropped, `recv` blocks and fails once all senders are gone.
+//! Provides `crossbeam::channel` with the `unbounded` MPMC channel surface
+//! this workspace uses. Like the real crate — and unlike `std::sync::mpsc`
+//! — **both halves are `Clone`**, so a pool of worker threads can share
+//! one `Receiver` and each message is delivered to exactly one of them.
+//! Semantics match where observable: FIFO delivery, `send` fails only
+//! after every receiver is dropped, `recv` blocks and fails once all
+//! senders are gone and the queue is drained.
 
-/// Multi-producer channels (stub over `std::sync::mpsc`).
+/// Multi-producer multi-consumer channels (stub over `Mutex` + `Condvar`).
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> Inner<T> {
+        fn state(&self) -> MutexGuard<'_, State<T>> {
+            // A panicking holder never leaves the queue mid-mutation
+            // (push/pop are single calls), so poisoning is ignorable —
+            // matching crossbeam, which never poisons.
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
 
     /// Sending half of a channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Inner<T>>);
 
-    /// Receiving half of a channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Receiving half of a channel. Cloneable: each message goes to
+    /// exactly one receiver.
+    pub struct Receiver<T>(Arc<Inner<T>>);
 
-    /// Error returned by [`Sender::send`] when the receiver is gone; the
+    /// Error returned by [`Sender::send`] when every receiver is gone; the
     /// unsent message is handed back.
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
@@ -28,40 +53,91 @@ pub mod channel {
         }
     }
 
-    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    /// Error returned by [`Receiver::recv`] when all senders are gone and
+    /// the queue is empty.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
-            Sender(self.0.clone())
+            self.0.state().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake blocked receivers so they observe disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.state().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state().receivers -= 1;
         }
     }
 
     impl<T> Sender<T> {
-        /// Send a message; fails only if the receiver has been dropped.
+        /// Send a message; fails only if every receiver has been dropped.
         pub fn send(&self, t: T) -> Result<(), SendError<T>> {
-            self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+            let mut st = self.0.state();
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.queue.push_back(t);
+            drop(st);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
-        /// Block until a message arrives; fails once every sender is gone.
+        /// Block until a message arrives; fails once every sender is gone
+        /// and the queue is drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut st = self.0.state();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Non-blocking receive: `None` if the channel is currently empty
         /// or disconnected.
         pub fn try_recv(&self) -> Option<T> {
-            self.0.try_recv().ok()
+            self.0.state().queue.pop_front()
         }
     }
 
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
     }
 
     #[cfg(test)]
@@ -88,6 +164,64 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn cloned_receivers_split_the_stream() {
+            // MPMC: each message is consumed by exactly one receiver.
+            let (tx, rx) = unbounded();
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut all: Vec<i32> = consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..1000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_drains_queue_after_senders_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn try_recv_is_nonblocking() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), None);
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_recv(), Some(9));
+            assert_eq!(rx.try_recv(), None);
+        }
+
+        #[test]
+        fn send_succeeds_while_any_receiver_lives() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            drop(rx);
+            tx.send(5).unwrap();
+            assert_eq!(rx2.recv(), Ok(5));
         }
     }
 }
