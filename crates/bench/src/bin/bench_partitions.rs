@@ -1,0 +1,390 @@
+//! Partition-tolerance benchmark: recall during and after a network
+//! split, swept over minority-island size × window length × replication
+//! factor, written to `BENCH_partitions.json` at the repo root.
+//!
+//! Each cell grows a fresh [`ChurnNetwork`], warms the cache through the
+//! resilient path, then opens a partition window: a minority island of
+//! `minority · N` peers is severed from the rest, both sides stabilize
+//! onto their own rings (split-brain), and the warm trace is re-run in
+//! degraded mode while `window` *fresh* queries are cached island-locally.
+//! Mid-window one minority member fails abruptly. The window then closes
+//! ([`ChurnNetwork::heal`]), the ring re-merges, budgeted anti-entropy
+//! repair runs to quiescence, and the full trace (warm + in-window) is
+//! re-queried. Measured per cell:
+//!
+//! * `inwindow_recall` — mean recall of the warm re-queries during the
+//!   split (the degraded-mode floor);
+//! * `degraded_frac` — fraction of in-window queries flagged
+//!   [`partition_degraded`](ars_core::QueryOutcome::partition_degraded);
+//! * `partition_writes` — copies written island-locally during the window
+//!   (the divergence reconciliation must converge);
+//! * `post_heal_recall` — mean recall of the full trace after heal +
+//!   repair (the headline: **exactly 1.0 whenever `r ≥ 2`**, because the
+//!   one failed minority peer never held the last copy of anything);
+//! * `repair_rounds` / `repair_sent` — the cost of reconciliation;
+//! * `rejoined` — nodes re-bootstrapped by the heal.
+//!
+//! Three properties are asserted in-binary, every run:
+//!
+//! 1. the bucket ledger `placed + recovered == live + lost` balances in
+//!    every cell (no copy silently appears or vanishes, split or not);
+//! 2. post-heal recall is exactly 1.000 in every `r ≥ 2` cell with a
+//!    minority of ≤ 30% — reconciliation converges, not approximately;
+//! 3. the `r = 1` cells show the contrast: the mid-window failure loses
+//!    buckets for good (sole copies), so recall does *not* return to 1.
+//!
+//! A companion discrete-event run per (minority, window) cell drives
+//! ring relays through a matching
+//! [`PartitionWindow`](ars_simnet::PartitionWindow) and asserts the
+//! message ledger `sent == delivered + dropped + partitioned + queued`
+//! stays conserved with `partitioned > 0` at every step.
+//!
+//! The seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep seeds.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_partitions`
+
+use ars_chord::Id;
+use ars_core::{ChurnNetwork, MatchMeasure, SystemConfig};
+use ars_lsh::RangeSet;
+use ars_simnet::{ConstantLatency, FaultPlan, Node, NodeCtx, SimNet};
+
+const N_PEERS: usize = 50;
+const N_WARM: usize = 80;
+const MINORITY_FRACS: [f64; 3] = [0.10, 0.20, 0.30];
+const WINDOW_QUERIES: [usize; 2] = [20, 60];
+const REPLICATION: [usize; 3] = [1, 2, 3];
+
+struct Cell {
+    minority: f64,
+    window: usize,
+    replication: usize,
+    inwindow_recall: f64,
+    degraded_frac: f64,
+    partition_writes: u64,
+    buckets_lost: u64,
+    post_heal_recall: f64,
+    repair_rounds: u64,
+    repair_sent: u64,
+    rejoined: usize,
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Distinct well-spread query ranges; `offset` lets the in-window fresh
+/// trace stay disjoint from the warm trace.
+fn trace(offset: usize, n: usize) -> Vec<RangeSet> {
+    (offset as u32..(offset + n) as u32)
+        .map(|i| {
+            let lo = i * 523 % 40_000;
+            RangeSet::interval(lo, lo + 60 + (i % 5) * 25)
+        })
+        .collect()
+}
+
+/// The ledger identity checked after every phase of every cell.
+fn assert_ledger(net: &ChurnNetwork, what: &str) {
+    let s = net.resilience();
+    assert_eq!(
+        s.buckets_placed + s.buckets_recovered,
+        net.total_partitions() as u64 + s.buckets_lost,
+        "{what}: ledger violated: placed {} recovered {} live {} lost {}",
+        s.buckets_placed,
+        s.buckets_recovered,
+        net.total_partitions(),
+        s.buckets_lost
+    );
+}
+
+fn run_cell(minority: f64, window: usize, replication: usize, seed: u64) -> Cell {
+    let config = SystemConfig::default()
+        .with_kl(16, 1)
+        .with_matching(MatchMeasure::Containment)
+        .with_replication(replication)
+        .with_seed(0x5011D ^ seed);
+    let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
+    let warm = trace(0, N_WARM);
+    let fresh = trace(N_WARM, window);
+
+    for q in &warm {
+        net.query_resilient(q);
+    }
+    assert_ledger(&net, "warm");
+
+    // Open the window: the k lowest ids form the minority island.
+    let ids = net.chord().node_ids();
+    let k = (minority * N_PEERS as f64).round() as usize;
+    let min_island: Vec<Id> = ids[..k].to_vec();
+    let maj_island: Vec<Id> = ids[k..].to_vec();
+    net.partition(&[maj_island, min_island.clone()]);
+    net.stabilize(256);
+    net.settle(4); // collapse predecessors so both islands are coherent
+    assert!(
+        net.chord().ring_view().is_split_brain(),
+        "stabilized partition must probe as split-brain"
+    );
+
+    // Degraded mode: warm re-queries measure the recall floor, fresh
+    // queries miss and are cached island-locally.
+    let writes_before = net.resilience().partition_writes;
+    let mut recall_sum = 0.0;
+    let mut degraded = 0usize;
+    for q in &warm {
+        let out = net.query_resilient(q);
+        recall_sum += out.recall;
+        degraded += out.partition_degraded as usize;
+    }
+    for q in &fresh {
+        degraded += net.query_resilient(q).partition_degraded as usize;
+    }
+    let partition_writes = net.resilience().partition_writes - writes_before;
+    assert!(
+        partition_writes > 0,
+        "fresh in-window misses must be cached island-locally"
+    );
+    assert_ledger(&net, "in-window");
+
+    // Mid-window abrupt failure inside the minority: pick the member
+    // holding the most copies so the r = 1 contrast is deterministic.
+    let victim = *min_island
+        .iter()
+        .max_by_key(|id| {
+            net.inventory()
+                .iter()
+                .filter(|(p, _, _)| *p == id.0)
+                .count()
+        })
+        .expect("minority island is non-empty");
+    let lost_before = net.resilience().buckets_lost;
+    net.fail(victim).expect("minority member fails mid-window");
+    let buckets_lost = net.resilience().buckets_lost - lost_before;
+    assert_ledger(&net, "mid-window failure");
+
+    // Close the window, re-merge, and reconcile.
+    let rejoined = net.heal();
+    net.stabilize(512).expect("healed ring re-merges");
+    net.settle(4);
+    let rounds_before = net.resilience().repair_rounds;
+    let sent_before = net.resilience().repair_entries_sent;
+    net.repair_until_quiescent(128, 10_000)
+        .expect("post-heal repair quiesces");
+    let repair_rounds = net.resilience().repair_rounds - rounds_before;
+    let repair_sent = net.resilience().repair_entries_sent - sent_before;
+
+    let mut post_sum = 0.0;
+    let mut post_n = 0usize;
+    for q in warm.iter().chain(fresh.iter()) {
+        let out = net.query_resilient(q);
+        assert!(
+            !out.partition_degraded,
+            "healed network must not flag degradation"
+        );
+        post_sum += out.recall;
+        post_n += 1;
+    }
+    assert_ledger(&net, "post-heal");
+
+    Cell {
+        minority,
+        window,
+        replication,
+        inwindow_recall: recall_sum / N_WARM as f64,
+        degraded_frac: degraded as f64 / (N_WARM + window) as f64,
+        partition_writes,
+        buckets_lost,
+        post_heal_recall: post_sum / post_n as f64,
+        repair_rounds,
+        repair_sent,
+        rejoined,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Companion message-ledger run: ring relays under a timed partition
+// window on the discrete-event simulator.
+// ---------------------------------------------------------------------
+
+struct Relay {
+    n_nodes: usize,
+}
+
+impl Node<u32> for Relay {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, u32>, _from: usize, msg: u32) {
+        if msg > 0 {
+            ctx.send((ctx.me + 1) % self.n_nodes, msg - 1);
+        }
+    }
+}
+
+/// Run 12 ring relays with a scaled minority severed over
+/// `[10, 10 + 10·window)`; returns `(sent, delivered, dropped,
+/// partitioned)` after asserting conservation at every step.
+fn relay_ledger(minority: f64, window: usize, seed: u64) -> (u64, u64, u64, u64) {
+    let n = 12;
+    let k = ((minority * n as f64).round() as usize).max(1);
+    let nodes: Vec<Box<dyn Node<u32>>> = (0..n)
+        .map(|_| Box::new(Relay { n_nodes: n }) as Box<dyn Node<u32>>)
+        .collect();
+    let mut sim = SimNet::new(nodes, ConstantLatency(5));
+    let until = 10 + 10 * window as u64;
+    sim.set_faults(
+        FaultPlan::none().with_partition(vec![(0..k).collect(), (k..n).collect()], 10, until),
+        seed,
+    );
+    for i in 0..n {
+        sim.inject(0, i, 60);
+    }
+    while sim.step() {
+        assert!(sim.stats().is_conserved(), "message ledger violated");
+    }
+    let s = sim.stats();
+    assert_eq!(s.queued, 0, "queue must drain after the window closes");
+    assert!(s.partitioned > 0, "ring relays must cross the cut");
+    assert_eq!(s.sent, s.delivered + s.dropped + s.partitioned);
+    (s.sent, s.delivered, s.dropped, s.partitioned)
+}
+
+fn main() {
+    let seed = fault_seed();
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("# seed {seed} ({N_PEERS} peers, {N_WARM} warm queries, k=16 l=1)");
+    println!(
+        "{:>9} {:>7} {:>3} {:>9} {:>9} {:>7} {:>6} {:>10} {:>7} {:>6} {:>9}",
+        "minority",
+        "window",
+        "r",
+        "in_recall",
+        "degraded",
+        "writes",
+        "lost",
+        "post_heal",
+        "rounds",
+        "sent",
+        "rejoined"
+    );
+    // The message-layer companion runs once per (minority, window) cell
+    // of the sweep — the replication factor does not touch the wire.
+    let mut ledgers = Vec::new();
+    for &minority in &MINORITY_FRACS {
+        for &window in &WINDOW_QUERIES {
+            let (sent, delivered, dropped, partitioned) = relay_ledger(minority, window, seed);
+            ledgers.push((minority, window, sent, delivered, dropped, partitioned));
+        }
+    }
+    for &replication in &REPLICATION {
+        for &minority in &MINORITY_FRACS {
+            for &window in &WINDOW_QUERIES {
+                let c = run_cell(minority, window, replication, seed);
+                println!(
+                    "{:>9.2} {:>7} {:>3} {:>9.3} {:>9.3} {:>7} {:>6} {:>10.3} {:>7} {:>6} {:>9}",
+                    c.minority,
+                    c.window,
+                    c.replication,
+                    c.inwindow_recall,
+                    c.degraded_frac,
+                    c.partition_writes,
+                    c.buckets_lost,
+                    c.post_heal_recall,
+                    c.repair_rounds,
+                    c.repair_sent,
+                    c.rejoined
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    // Headline assertions over the matrix.
+    for c in &cells {
+        if c.replication >= 2 {
+            assert_eq!(
+                c.post_heal_recall, 1.0,
+                "r={} minority={} window={}: post-heal recall {:.4} != 1.0 — \
+                 reconciliation must converge exactly",
+                c.replication, c.minority, c.window, c.post_heal_recall
+            );
+        }
+    }
+    let r1_contrast = cells
+        .iter()
+        .filter(|c| c.replication == 1)
+        .all(|c| c.post_heal_recall < 1.0 || c.buckets_lost > 0);
+    assert!(
+        r1_contrast,
+        "every r=1 cell must show the cost of no replication (lost buckets \
+         or depressed post-heal recall)"
+    );
+    assert!(
+        cells.iter().any(|c| c.degraded_frac > 0.0),
+        "some in-window query must have been flagged degraded"
+    );
+    let worst_inwindow = cells
+        .iter()
+        .map(|c| c.inwindow_recall)
+        .fold(f64::INFINITY, f64::min);
+    let best_r1_post = cells
+        .iter()
+        .filter(|c| c.replication == 1)
+        .map(|c| c.post_heal_recall)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\nin-window recall floor {worst_inwindow:.3}; post-heal recall 1.000 at r>=2 \
+         (minority <= 30%), r=1 floor {best_r1_post:.3}"
+    );
+
+    for (minority, window, sent, delivered, dropped, partitioned) in &ledgers {
+        println!(
+            "relay ledger (minority {minority:.2}, window {window}): sent {sent} = \
+             delivered {delivered} + dropped {dropped} + partitioned {partitioned}"
+        );
+    }
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"partition_tolerance\",\n  \"seed\": {seed},\n  \
+         \"peers\": {N_PEERS},\n  \"warm_queries\": {N_WARM},\n  \"cells\": [\n"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"minority\": {:.2}, \"window\": {}, \"replication\": {}, \
+             \"inwindow_recall\": {:.4}, \"degraded_frac\": {:.4}, \
+             \"partition_writes\": {}, \"buckets_lost\": {}, \
+             \"post_heal_recall\": {:.4}, \"repair_rounds\": {}, \
+             \"repair_sent\": {}, \"rejoined\": {}}}{sep}\n",
+            c.minority,
+            c.window,
+            c.replication,
+            c.inwindow_recall,
+            c.degraded_frac,
+            c.partition_writes,
+            c.buckets_lost,
+            c.post_heal_recall,
+            c.repair_rounds,
+            c.repair_sent,
+            c.rejoined
+        ));
+    }
+    json.push_str("  ],\n  \"relay_ledgers\": [\n");
+    for (i, (minority, window, sent, delivered, dropped, partitioned)) in ledgers.iter().enumerate()
+    {
+        let sep = if i + 1 == ledgers.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"minority\": {minority:.2}, \"window\": {window}, \"sent\": {sent}, \
+             \"delivered\": {delivered}, \"dropped\": {dropped}, \
+             \"partitioned\": {partitioned}}}{sep}\n"
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\n    \"inwindow_recall_floor\": {worst_inwindow:.4},\n    \
+         \"post_heal_recall_r2_plus\": 1.0,\n    \
+         \"post_heal_recall_r1_floor\": {best_r1_post:.4}\n  }}\n}}\n"
+    ));
+
+    let path = ars_bench::experiments::repo_root().join("BENCH_partitions.json");
+    std::fs::write(&path, json).expect("write BENCH_partitions.json");
+    println!("wrote {}", path.display());
+}

@@ -205,18 +205,63 @@ impl RouteCache {
     }
 }
 
+/// A snapshot of every alive node's *believed* ownership claim, probed
+/// from the nodes' local predecessor pointers — the split-brain detector.
+///
+/// Node `x` claims a key `k` when `k ∈ (pred(x), x]` according to `x`'s
+/// own predecessor pointer. On a converged connected ring each probe key
+/// has exactly one claimant; while the ring is split, every island runs a
+/// full circle of its own, so keys are claimed on both sides of the
+/// boundary and [`RingView::is_split_brain`] reports it.
+#[derive(Debug, Clone)]
+pub struct RingView {
+    /// `(probe key, claimants)` — one probe per alive node id.
+    claims: Vec<(Id, Vec<Id>)>,
+}
+
+impl RingView {
+    /// True if any probed key has two or more claimants (two nodes both
+    /// believe they own the same identifier).
+    pub fn is_split_brain(&self) -> bool {
+        self.claims.iter().any(|(_, c)| c.len() >= 2)
+    }
+
+    /// The contested probe keys and their claimants (empty when healthy).
+    pub fn contested(&self) -> Vec<(Id, Vec<Id>)> {
+        self.claims
+            .iter()
+            .filter(|(_, c)| c.len() >= 2)
+            .cloned()
+            .collect()
+    }
+
+    /// All probes `(key, claimants)`, one per alive node id.
+    pub fn claims(&self) -> &[(Id, Vec<Id>)] {
+        &self.claims
+    }
+}
+
 /// A simulated Chord network under churn.
 ///
 /// All "RPCs" are direct reads of the target node's state — the simulation
 /// models *protocol state convergence*, not message latency (that is
 /// `ars-simnet`'s job). Dead nodes simply disappear from the map; a peer
 /// consulting a dead pointer observes the failure, as a timeout would.
+/// While a partition is installed ([`Self::partition`]), a node can only
+/// observe peers on its own island — every protocol interaction
+/// (stabilize, notify, lookups, finger repair) is filtered through that
+/// reachability relation, so each island's ring collapses onto its own
+/// members exactly as live Chord nodes would behave behind a severed
+/// switch.
 #[derive(Debug, Clone)]
 pub struct DynamicNetwork {
     nodes: FxHashMap<u32, NodeState>,
     /// Alive ids, sorted — the ground truth used for assertions and for
     /// efficient true-successor queries. Maintained on join/leave.
     alive: BTreeSet<u32>,
+    /// Installed partition: node id → island index. `None` = connected.
+    /// Nodes absent from the map belong to island 0.
+    islands: Option<FxHashMap<u32, usize>>,
     succ_list_len: usize,
     /// Bounded successor/location cache consulted before finger descent
     /// (disabled by default; see
@@ -242,6 +287,7 @@ impl DynamicNetwork {
         DynamicNetwork {
             nodes,
             alive,
+            islands: None,
             succ_list_len,
             route_cache: RouteCache::default(),
             telemetry: Telemetry::noop(),
@@ -330,6 +376,159 @@ impl DynamicNetwork {
             .collect()
     }
 
+    /// Split the network into islands: `groups[i]` becomes island `i`;
+    /// alive nodes not listed in any group join island 0 (so a call only
+    /// needs to enumerate the minority islands it carves off, matching
+    /// `ars_simnet`'s `PartitionWindow` semantics). Installing a partition
+    /// replaces any previous one and clears the route cache.
+    ///
+    /// # Panics
+    /// Panics unless there are ≥2 groups, every group is non-empty, no
+    /// node appears twice, and every listed node is alive.
+    pub fn partition(&mut self, groups: &[Vec<Id>]) {
+        assert!(groups.len() >= 2, "a partition needs at least two islands");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "empty partition island"
+        );
+        let mut map = FxHashMap::default();
+        for (i, g) in groups.iter().enumerate() {
+            for &id in g {
+                assert!(self.is_alive(id), "partitioned node {id} is not alive");
+                assert!(
+                    map.insert(id.0, i).is_none(),
+                    "node {id} listed in two islands"
+                );
+            }
+        }
+        self.islands = Some(map);
+        self.route_cache.invalidate();
+    }
+
+    /// True while a partition is installed.
+    pub fn is_partitioned(&self) -> bool {
+        self.islands.is_some()
+    }
+
+    /// Island index of `id` under the installed partition (0 when the
+    /// network is connected or the node is unlisted).
+    pub fn island_of(&self, id: Id) -> usize {
+        match &self.islands {
+            Some(m) => m.get(&id.0).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// True if `a` can exchange messages with `b` (always true while
+    /// connected; same-island only while partitioned).
+    pub fn reachable(&self, a: Id, b: Id) -> bool {
+        match &self.islands {
+            Some(m) => m.get(&a.0).copied().unwrap_or(0) == m.get(&b.0).copied().unwrap_or(0),
+            None => true,
+        }
+    }
+
+    /// Tear the partition down and deterministically re-merge the rings.
+    ///
+    /// While the window was open each island's stabilization collapsed
+    /// successor lists *and fingers* onto island members, so after a long
+    /// window no cross-island pointer survives and stabilization alone can
+    /// never re-knit the circle (two stable disjoint Chord rings are a
+    /// fixed point of stabilize/notify). Healing therefore re-runs each
+    /// node's rejoin bootstrap: every node whose believed successor
+    /// disagrees with the healed ground truth re-acquires its true
+    /// immediate successor — via a surviving cross-island finger when one
+    /// still points there, else the same out-of-band bootstrap oracle
+    /// `stabilize_one`'s emergency fallback uses — and stabilization then
+    /// repairs predecessors, successor lists, and fingers. The route cache
+    /// is fully invalidated so no island-local route outlives the heal.
+    ///
+    /// Returns the number of rejoin edges installed (0 when the network
+    /// was not partitioned; the cache is still cleared).
+    pub fn heal(&mut self) -> usize {
+        let was_partitioned = self.islands.take().is_some();
+        self.route_cache.invalidate();
+        if !was_partitioned {
+            return 0;
+        }
+        let ids: Vec<u32> = self.alive.iter().copied().collect();
+        let mut rejoined = 0usize;
+        for v in ids {
+            let id = Id(v);
+            let truth = self.true_owner(id.plus(1));
+            let state = self.nodes.get_mut(&v).expect("alive node has state");
+            let believed = state.successors.first().copied();
+            if believed != Some(truth) && truth != id {
+                state.successors.retain(|&s| s != truth);
+                state.successors.insert(0, truth);
+                state.successors.truncate(self.succ_list_len);
+                rejoined += 1;
+            }
+        }
+        rejoined
+    }
+
+    /// Probe every alive node's believed ownership claim (see
+    /// [`RingView`]). One probe per alive node id: on a healthy converged
+    /// ring each id is claimed exactly once (by itself); while the ring is
+    /// split, islands claim keys across the boundary and
+    /// [`RingView::is_split_brain`] fires.
+    pub fn ring_view(&self) -> RingView {
+        let ids = self.node_ids();
+        let claims = ids
+            .iter()
+            .map(|&key| {
+                let claimants = ids
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        let state = &self.nodes[&x.0];
+                        match state.predecessor {
+                            Some(p) if p != x => key.in_open_closed(p, x),
+                            // Self-loop or unknown predecessor: the node
+                            // believes it owns everything.
+                            _ => true,
+                        }
+                    })
+                    .collect();
+                (key, claimants)
+            })
+            .collect();
+        RingView { claims }
+    }
+
+    /// First alive node clockwise from `key` on `observer`'s island — the
+    /// owner `observer` can actually reach. Equals [`Self::true_owner`]
+    /// while the network is connected.
+    pub fn island_owner(&self, observer: Id, key: Id) -> Id {
+        self.alive
+            .range(key.0..)
+            .chain(self.alive.range(..key.0))
+            .copied()
+            .map(Id)
+            .find(|&v| self.reachable(observer, v))
+            .unwrap_or(observer)
+    }
+
+    /// First `count` alive nodes clockwise from `key` restricted to
+    /// `observer`'s island (the replica owners `observer` can reach).
+    /// Equals [`Self::true_successors`] while the network is connected.
+    pub fn island_successors(&self, observer: Id, key: Id, count: usize) -> Vec<Id> {
+        let island_len = self
+            .alive
+            .iter()
+            .filter(|&&v| self.reachable(observer, Id(v)))
+            .count();
+        self.alive
+            .range(key.0..)
+            .chain(self.alive.range(..key.0))
+            .copied()
+            .map(Id)
+            .filter(|&v| self.reachable(observer, v))
+            .take(count.min(island_len))
+            .collect()
+    }
+
     fn node(&self, id: Id) -> Result<&NodeState, ChordError> {
         self.nodes.get(&id.0).ok_or(ChordError::UnknownNode(id))
     }
@@ -338,9 +537,13 @@ impl DynamicNetwork {
         self.alive.contains(&id.0)
     }
 
-    /// First *alive* successor-list entry of `of`, if any.
-    fn live_successor(&self, of: &NodeState) -> Option<Id> {
-        of.successors.iter().copied().find(|&s| self.is_alive(s))
+    /// First successor-list entry of `of` that is alive *and reachable
+    /// from `me`*, if any.
+    fn live_successor(&self, me: Id, of: &NodeState) -> Option<Id> {
+        of.successors
+            .iter()
+            .copied()
+            .find(|&s| self.is_alive(s) && self.reachable(me, s))
     }
 
     /// Join a new node, learning the ring through `via` (any alive node).
@@ -356,6 +559,12 @@ impl DynamicNetwork {
         state.successors.push(succ);
         self.nodes.insert(new.0, state);
         self.alive.insert(new.0);
+        // A node joining through `via` lands on `via`'s island: its only
+        // contact is on that side of the boundary.
+        if let Some(m) = &mut self.islands {
+            let island = m.get(&via.0).copied().unwrap_or(0);
+            m.insert(new.0, island);
+        }
         // The new node may own keys cached routes point elsewhere for.
         self.route_cache.invalidate();
         Ok(())
@@ -369,9 +578,21 @@ impl DynamicNetwork {
         let state = self.node(id)?.clone();
         self.alive.remove(&id.0);
         self.nodes.remove(&id.0);
-        // Tell the predecessor to adopt our successor and vice versa.
-        let succ = state.successors.iter().copied().find(|&s| self.is_alive(s));
-        if let (Some(pred), Some(succ)) = (state.predecessor, succ) {
+        // Tell the predecessor to adopt our successor and vice versa (the
+        // handoff can only reach island-local neighbours — resolve the
+        // leaver's island before forgetting it).
+        let succ = state
+            .successors
+            .iter()
+            .copied()
+            .find(|&s| self.is_alive(s) && self.reachable(id, s));
+        let pred = state
+            .predecessor
+            .filter(|&p| self.is_alive(p) && self.reachable(id, p));
+        if let Some(m) = &mut self.islands {
+            m.remove(&id.0);
+        }
+        if let (Some(pred), Some(succ)) = (pred, succ) {
             if let Some(p) = self.nodes.get_mut(&pred.0) {
                 p.successors.retain(|&s| s != id);
                 p.successors.insert(0, succ);
@@ -397,6 +618,9 @@ impl DynamicNetwork {
         self.node(id)?;
         self.alive.remove(&id.0);
         self.nodes.remove(&id.0);
+        if let Some(m) = &mut self.islands {
+            m.remove(&id.0);
+        }
         self.route_cache.invalidate();
         Ok(())
     }
@@ -441,25 +665,27 @@ impl DynamicNetwork {
         // network — cache-cold, exactly like the uncached protocol.
         self.route_cache.invalidate();
         let mut successors = state.successors.clone();
-        // 1. Prune dead successors.
-        successors.retain(|&s| self.is_alive(s));
+        // 1. Prune dead (or partition-unreachable) successors — behind a
+        //    severed boundary a peer times out exactly like a crashed one.
+        successors.retain(|&s| self.is_alive(s) && self.reachable(id, s));
         if successors.is_empty() {
-            // Lost every successor: fall back to any alive finger, else the
-            // ground-truth emergency bootstrap (models out-of-band rejoin).
+            // Lost every successor: fall back to any alive reachable
+            // finger, else the ground-truth emergency bootstrap (models
+            // out-of-band rejoin, restricted to the observer's island).
             let fallback = state
                 .fingers
                 .iter()
                 .flatten()
                 .copied()
-                .find(|&f| self.is_alive(f) && f != id)
-                .unwrap_or_else(|| self.true_owner(id.plus(1)));
+                .find(|&f| self.is_alive(f) && self.reachable(id, f) && f != id)
+                .unwrap_or_else(|| self.island_owner(id, id.plus(1)));
             successors.push(fallback);
         }
         // 2. Stabilize: check successor's predecessor.
         let succ = successors[0];
         let succ_pred = self.nodes.get(&succ.0).and_then(|s| s.predecessor);
         if let Some(p) = succ_pred {
-            if self.is_alive(p) && p.in_open(id, succ) {
+            if self.is_alive(p) && self.reachable(id, p) && p.in_open(id, succ) {
                 successors.insert(0, p);
             }
         }
@@ -471,16 +697,23 @@ impl DynamicNetwork {
             merged.dedup();
             successors = merged;
         }
-        successors.retain(|&s| self.is_alive(s));
+        successors.retain(|&s| self.is_alive(s) && self.reachable(id, s));
         successors.truncate(self.succ_list_len);
 
-        // 4. Notify the successor that we might be its predecessor.
+        // 4. Notify the successor that we might be its predecessor. An
+        //    existing predecessor across the boundary is unreachable for
+        //    the successor, so an island-local notifier supersedes it.
         let succ = successors[0];
+        let accept = match self.nodes.get(&succ.0).and_then(|s| s.predecessor) {
+            Some(p) => {
+                !self.alive.contains(&p.0)
+                    || !self.reachable(succ, p)
+                    || id.in_open(p, succ)
+                    || p == succ
+            }
+            None => true,
+        };
         if let Some(s) = self.nodes.get_mut(&succ.0) {
-            let accept = match s.predecessor {
-                Some(p) => !self.alive.contains(&p.0) || id.in_open(p, succ) || p == succ,
-                None => true,
-            };
             // Either we are a better predecessor for our successor, or the
             // successor is ourselves (one-node ring): adopt in both cases.
             if accept || succ == id {
@@ -559,12 +792,13 @@ impl DynamicNetwork {
         loop {
             let state = self.node(current)?;
             let succ = self
-                .live_successor(state)
+                .live_successor(current, state)
                 .ok_or(ChordError::RoutingFailed { from, key })?;
             if succ == current || key.in_open_closed(current, succ) {
                 return Ok((succ, hops + 1));
             }
-            // Closest preceding *alive* pointer among fingers + successors.
+            // Closest preceding *alive, reachable* pointer among fingers +
+            // successors.
             let mut next: Option<Id> = None;
             for f in state
                 .fingers
@@ -574,7 +808,7 @@ impl DynamicNetwork {
                 .chain(state.successors.iter().copied())
             {
                 *touches += 1;
-                if self.is_alive(f) && f.in_open(current, key) {
+                if self.is_alive(f) && self.reachable(current, f) && f.in_open(current, key) {
                     // Farthest strictly-preceding pointer wins.
                     next = Some(match next {
                         Some(best) if f.in_open(best, key) => f,
@@ -689,7 +923,7 @@ impl DynamicNetwork {
             visited.insert(current.0);
             // Terminal test: current's first live successor owns the key.
             if let Ok(state) = self.node(current) {
-                if let Some(succ) = self.live_successor(state) {
+                if let Some(succ) = self.live_successor(current, state) {
                     if succ == current || key.in_open_closed(current, succ) {
                         return Ok((succ, hops + 1));
                     }
@@ -735,27 +969,31 @@ impl DynamicNetwork {
             .flatten()
             .copied()
             .chain(state.successors.iter().copied())
-            .filter(|&f| self.is_alive(f) && f.in_open(current, key))
+            .filter(|&f| self.is_alive(f) && self.reachable(current, f) && f.in_open(current, key))
             .collect();
         preceding.sort_by_key(|c| key.0.wrapping_sub(c.0));
         preceding.dedup();
         let mut out = preceding;
         for &s in &state.successors {
-            if self.is_alive(s) && s != current && !out.contains(&s) {
+            if self.is_alive(s) && self.reachable(current, s) && s != current && !out.contains(&s) {
                 out.push(s);
             }
         }
         out
     }
 
-    /// True when every node's first alive successor equals the ground-truth
-    /// next node on the circle.
+    /// True when every node's first alive *reachable* successor equals the
+    /// next node its island can see on the circle. On a connected network
+    /// this is the ground-truth circle; while partitioned it is each
+    /// island's own collapsed ring, so `stabilize_until_consistent`
+    /// converges to the split-brain steady state rather than spinning
+    /// against an unreachable truth.
     pub fn is_ring_consistent(&self) -> bool {
         self.alive.iter().all(|&v| {
             let id = Id(v);
             let state = &self.nodes[&v];
-            match self.live_successor(state) {
-                Some(s) => s == self.true_owner(id.plus(1)),
+            match self.live_successor(id, state) {
+                Some(s) => s == self.island_owner(id, id.plus(1)),
                 None => self.len() == 1,
             }
         })
@@ -1195,6 +1433,188 @@ mod tests {
             cached.route_cache_stats().hits > 0,
             "the equivalence run never exercised a cache hit"
         );
+    }
+
+    /// Carve off the `k` smallest-id nodes as a minority island.
+    fn split(net: &mut DynamicNetwork, k: usize) -> (Vec<Id>, Vec<Id>) {
+        let ids = net.node_ids();
+        assert!(k < ids.len());
+        let minority: Vec<Id> = ids[..k].to_vec();
+        let majority: Vec<Id> = ids[k..].to_vec();
+        net.partition(&[majority.clone(), minority.clone()]);
+        (majority, minority)
+    }
+
+    #[test]
+    fn partition_collapses_each_island_onto_its_members() {
+        let mut net = grow_network(30, 31);
+        let (majority, minority) = split(&mut net, 9);
+        net.stabilize_until_consistent(64)
+            .expect("islands each converge to their own ring");
+        let mut rng = DetRng::new(8);
+        // Lookups from either side resolve to owners on the same side.
+        for _ in 0..100 {
+            let key = Id(rng.next_u32());
+            let from_maj = majority[rng.gen_index(majority.len())];
+            let (owner, _) = net.lookup(from_maj, key).unwrap();
+            assert!(majority.contains(&owner), "majority lookup left island");
+            assert_eq!(owner, net.island_owner(from_maj, key));
+            let from_min = minority[rng.gen_index(minority.len())];
+            let (owner, _) = net.lookup(from_min, key).unwrap();
+            assert!(minority.contains(&owner), "minority lookup left island");
+            assert_eq!(owner, net.island_owner(from_min, key));
+        }
+    }
+
+    #[test]
+    fn ring_view_detects_split_brain_iff_partitioned() {
+        let mut net = grow_network(24, 33);
+        net.stabilize_until_consistent(64).expect("converges");
+        assert!(
+            !net.ring_view().is_split_brain(),
+            "healthy converged ring misreported"
+        );
+        split(&mut net, 8);
+        net.stabilize_until_consistent(64)
+            .expect("split rings converge");
+        let view = net.ring_view();
+        assert!(view.is_split_brain(), "split ring not detected");
+        assert!(!view.contested().is_empty());
+        net.heal();
+        net.stabilize_until_consistent(64)
+            .expect("healed ring converges");
+        // A few extra rounds to settle predecessors after the merge.
+        net.stabilize_all(ID_BITS as usize);
+        assert!(
+            !net.ring_view().is_split_brain(),
+            "healed ring still contested"
+        );
+    }
+
+    #[test]
+    fn heal_restores_global_lookup_correctness() {
+        let mut net = grow_network(30, 37);
+        split(&mut net, 10);
+        // Long window: stabilize until every finger is island-local.
+        for _ in 0..8 {
+            net.stabilize_all(ID_BITS as usize);
+        }
+        net.heal();
+        assert!(!net.is_partitioned());
+        net.stabilize_until_consistent(128)
+            .expect("healed network re-merges");
+        net.stabilize_all(ID_BITS as usize);
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(12);
+        for _ in 0..200 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            assert_eq!(net.lookup(from, key).unwrap().0, net.true_owner(key));
+        }
+    }
+
+    #[test]
+    fn heal_is_deterministic() {
+        let run = |seed| {
+            let mut net = grow_network(20, seed);
+            split(&mut net, 6);
+            for _ in 0..4 {
+                net.stabilize_all(ID_BITS as usize);
+            }
+            let rejoined = net.heal();
+            net.stabilize_until_consistent(64).expect("re-merges");
+            (rejoined, net.node_ids())
+        };
+        assert_eq!(run(41), run(41));
+    }
+
+    #[test]
+    fn route_cache_invalidated_on_partition_and_heal() {
+        let mut net = grow_network(20, 43);
+        net.set_route_cache_capacity(256);
+        let ids = net.node_ids();
+        net.lookup(ids[0], Id(12345)).unwrap();
+        assert!(net.route_cache_len() > 0);
+        net.partition(&[ids[10..].to_vec(), ids[..10].to_vec()]);
+        assert_eq!(net.route_cache_len(), 0, "partition must clear routes");
+        net.stabilize_until_consistent(64).expect("islands settle");
+        net.lookup(ids[0], Id(12345)).unwrap();
+        assert!(net.route_cache_len() > 0);
+        net.heal();
+        assert_eq!(net.route_cache_len(), 0, "heal must clear routes");
+    }
+
+    #[test]
+    fn cached_lookup_never_serves_stale_island_owner_after_heal() {
+        // During the window the cache memoizes island-local owners; after
+        // heal() the same (from, key) pair must resolve to the global
+        // ground truth, exactly like an uncached network.
+        let mut net = grow_network(24, 47);
+        net.set_route_cache_capacity(256);
+        let (majority, minority) = split(&mut net, 8);
+        net.stabilize_until_consistent(64).expect("islands settle");
+        let from = minority[0];
+        let mut rng = DetRng::new(3);
+        let keys: Vec<Id> = (0..50).map(|_| Id(rng.next_u32())).collect();
+        for &key in &keys {
+            let (owner, _) = net.lookup(from, key).unwrap();
+            assert!(minority.contains(&owner));
+        }
+        net.heal();
+        net.stabilize_until_consistent(128).expect("re-merges");
+        net.stabilize_all(ID_BITS as usize);
+        for &key in &keys {
+            let (owner, _) = net.lookup(from, key).unwrap();
+            assert_eq!(
+                owner,
+                net.true_owner(key),
+                "stale island route served across the healed boundary"
+            );
+        }
+        let _ = majority;
+    }
+
+    #[test]
+    fn island_successors_match_truth_when_connected() {
+        let net = grow_network(15, 51);
+        let ids = net.node_ids();
+        let key = Id(ids[3].0.wrapping_add(1));
+        assert_eq!(
+            net.island_successors(ids[0], key, 4),
+            net.true_successors(key, 4)
+        );
+        assert_eq!(net.island_owner(ids[0], key), net.true_owner(key));
+        assert!(net.reachable(ids[0], ids[1]));
+        assert_eq!(net.island_of(ids[0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two islands")]
+    fn partition_rejects_single_island() {
+        let mut net = grow_network(5, 53);
+        let ids = net.node_ids();
+        net.partition(&[ids]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not alive")]
+    fn partition_rejects_dead_member() {
+        let mut net = grow_network(5, 57);
+        let ids = net.node_ids();
+        net.partition(&[vec![ids[0]], vec![Id(0xDEAD_BEEF)]]);
+    }
+
+    #[test]
+    fn join_during_partition_lands_on_contact_island() {
+        let mut net = grow_network(20, 59);
+        let (majority, minority) = split(&mut net, 6);
+        net.stabilize_until_consistent(64).expect("islands settle");
+        let new = Id(0x4242_4242);
+        assert!(!net.node_ids().contains(&new));
+        net.join(new, minority[0]).unwrap();
+        assert_eq!(net.island_of(new), net.island_of(minority[0]));
+        assert!(net.reachable(new, minority[0]));
+        assert!(!net.reachable(new, majority[0]));
     }
 
     #[test]

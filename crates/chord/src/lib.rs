@@ -33,7 +33,7 @@ pub mod ring;
 pub mod sha1;
 pub mod vnodes;
 
-pub use dynamic::{DynamicNetwork, RouteCacheStats};
+pub use dynamic::{DynamicNetwork, RingView, RouteCacheStats};
 pub use id::Id;
 pub use ring::Ring;
 pub use sha1::sha1;

@@ -164,6 +164,7 @@ mod tests {
             peers_contacted: 0,
             attempts: 0,
             fell_back_to_source: false,
+            partition_degraded: false,
         };
         for _ in 0..20 {
             c.observe(&miss);
@@ -188,6 +189,7 @@ mod tests {
             peers_contacted: 0,
             attempts: 0,
             fell_back_to_source: false,
+            partition_degraded: false,
         };
         // Drive up first.
         let miss = QueryOutcome {

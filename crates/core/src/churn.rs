@@ -32,6 +32,16 @@
 //! per-bucket digests between replica owners and re-replicates only the
 //! missing entries, converging to the same state as the oracle
 //! [`ChurnNetwork::re_replicate`] sweep under a per-round budget.
+//!
+//! [`ChurnNetwork::partition`] splits the network into isolated islands:
+//! each island's ring collapses onto its own members (split-brain),
+//! queries keep being answered island-locally — flagged
+//! [`QueryOutcome::partition_degraded`] when an identifier's global owner
+//! is across the split — and cache writes land at island-local owners
+//! only. [`ChurnNetwork::heal`] re-merges the rings; the anti-entropy
+//! loop then reconciles the diverged replica sets back to the same fixed
+//! point as the oracle sweep, which is the whole partition-tolerance
+//! story: degraded availability during the window, convergence after it.
 
 use crate::bucket::Match;
 use crate::config::{Placement, SystemConfig};
@@ -273,6 +283,12 @@ impl ChurnNetwork {
         }
         self.resilience.buckets_placed += 1;
         self.telemetry.counter_add("buckets.placed", 1);
+        if self.chord.is_partitioned() {
+            // Divergence ledger: every copy written while the network is
+            // split is state that post-heal reconciliation must spread.
+            self.resilience.partition_writes += 1;
+            self.telemetry.counter_add("buckets.partition_writes", 1);
+        }
         if let Some(log) = self.logs.get_mut(&owner) {
             log.place(identifier, &encode_range(range));
             self.telemetry.counter_add("store.appended", 1);
@@ -340,10 +356,19 @@ impl ChurnNetwork {
     }
 
     /// Gracefully leave: buckets are handed to the departing peer's ring
-    /// successor before it goes.
+    /// successor before it goes. While the network is partitioned, the
+    /// handover can only reach the successor *within the leaver's island*
+    /// (computed before the node is removed); a node leaving as the sole
+    /// member of its island has no reachable heir and its copies are lost
+    /// like an abrupt failure's.
     pub fn leave(&mut self, id: Id) -> Result<(), ChordError> {
-        // Determine the inheritor *before* removing the node.
-        let inheritor = self.chord.true_owner(id.plus(1));
+        // Determine the inheritor *before* removing the node — and before
+        // the chord layer forgets which island the leaver was in.
+        let inheritor = if self.chord.is_partitioned() {
+            self.chord.island_owner(id, id.plus(1))
+        } else {
+            self.chord.true_owner(id.plus(1))
+        };
         self.chord.leave(id)?;
         if let Some(mut gone) = self.storage.remove(&id.0) {
             let handed = gone.drain();
@@ -351,12 +376,18 @@ impl ChurnNetwork {
             // handover re-places them at the heir, so the ledger records a
             // loss and a placement per copy that moved.
             self.lose_buckets(handed.len() as u64);
-            assert!(
-                self.storage.contains_key(&inheritor.0),
-                "successor must be alive"
-            );
-            for (ident, range) in handed {
-                self.store_at(inheritor.0, ident, &range);
+            if inheritor == id {
+                // Sole member of its island: nobody reachable to inherit.
+                self.telemetry
+                    .counter_add("churn.orphaned_handovers", handed.len() as u64);
+            } else {
+                assert!(
+                    self.storage.contains_key(&inheritor.0),
+                    "successor must be alive"
+                );
+                for (ident, range) in handed {
+                    self.store_at(inheritor.0, ident, &range);
+                }
             }
         }
         self.logs.remove(&id.0);
@@ -424,6 +455,62 @@ impl ChurnNetwork {
     /// Run stabilization rounds (after injected churn).
     pub fn stabilize(&mut self, max_rounds: usize) -> Option<usize> {
         self.chord.stabilize_until_consistent(max_rounds)
+    }
+
+    /// Run `rounds` unconditional stabilization passes over every node,
+    /// even when the ring is already successor-consistent.
+    /// [`Self::stabilize`] stops as soon as immediate successors match
+    /// the ground truth, which right after a [`Self::heal`] can leave
+    /// predecessor beliefs stale enough for the split-brain probe
+    /// ([`DynamicNetwork::ring_view`]) to still report contested keys; a
+    /// couple of settle rounds clears them.
+    pub fn settle(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.chord.stabilize_all(32);
+        }
+    }
+
+    /// Split the network into ≥ 2 islands: cross-island traffic (lookups,
+    /// digest exchanges, replica pushes, leave handovers) stops until
+    /// [`Self::heal`]. Alive nodes not listed in any group land in island
+    /// 0. Each island's ring collapses onto its own members over the
+    /// following stabilization rounds (split-brain); queries keep being
+    /// answered island-locally through [`Self::query_resilient`], flagged
+    /// [`QueryOutcome::partition_degraded`] when the global owner is on
+    /// the far side.
+    ///
+    /// # Panics
+    /// Panics (in the chord layer) on fewer than two islands, an empty
+    /// island, a dead member, or a node listed twice.
+    pub fn partition(&mut self, groups: &[Vec<Id>]) {
+        self.chord.partition(groups);
+        self.telemetry.counter_add("churn.partitions", 1);
+        self.telemetry
+            .event("churn.partition", &[("islands", groups.len().into())]);
+    }
+
+    /// True while a [`Self::partition`] is in force.
+    pub fn is_partitioned(&self) -> bool {
+        self.chord.is_partitioned()
+    }
+
+    /// Heal the partition: cross-island traffic resumes and every node
+    /// whose successor belief diverged from the global ring is handed its
+    /// true successor (the out-of-band rejoin bootstrap — see
+    /// [`DynamicNetwork::heal`]). Returns the number of rejoined nodes.
+    ///
+    /// Healing the *ring* does not reconcile *storage*: copies written
+    /// island-locally during the window sit at owners the other side never
+    /// saw. Run [`Self::stabilize`] and then either the oracle
+    /// [`Self::re_replicate`] or budgeted [`Self::repair_until_quiescent`]
+    /// rounds to converge the replica sets (both reach the same fixed
+    /// point — the bench and the partition-tolerance tests pin this).
+    pub fn heal(&mut self) -> usize {
+        let rejoined = self.chord.heal();
+        self.telemetry.counter_add("churn.heals", 1);
+        self.telemetry
+            .event("churn.heal", &[("rejoined", rejoined.into())]);
+        rejoined
     }
 
     /// Crash a peer: like [`Self::fail`] it drops off the ring abruptly
@@ -567,6 +654,13 @@ impl ChurnNetwork {
                     if owner.0 == p {
                         continue;
                     }
+                    // A digest exchange is a message: while the network is
+                    // split, a holder can only repair owners it can reach.
+                    // Cross-island pairs are skipped (not counted as
+                    // compared) and picked up by post-heal rounds.
+                    if !self.chord.reachable(Id(p), owner) {
+                        continue;
+                    }
                     round.digests_compared += 1;
                     let src_digest = Self::bucket_digest(&self.storage[&p], ident);
                     let dst_digest = self
@@ -686,22 +780,39 @@ impl ChurnNetwork {
             return 0;
         }
         self.resilience.re_replications += 1;
-        // Inventory of everything stored anywhere, deduplicated.
-        let mut pairs: Vec<(u32, RangeSet)> = Vec::new();
+        let partitioned = self.chord.is_partitioned();
+        // Inventory of everything stored anywhere, deduplicated, tagged
+        // with the islands that hold a copy: while the network is split,
+        // a missing replica can only be rebuilt at an owner some holder
+        // can actually reach.
+        let mut pairs: Vec<(u32, RangeSet, Vec<usize>)> = Vec::new();
         {
-            let mut seen: std::collections::HashSet<(u32, &RangeSet)> =
-                std::collections::HashSet::new();
-            for peer in self.storage.values() {
+            let mut seen: std::collections::HashMap<(u32, &RangeSet), usize> =
+                std::collections::HashMap::new();
+            for (&pid, peer) in &self.storage {
+                let island = self.chord.island_of(Id(pid));
                 for (ident, range) in peer.entries() {
-                    if seen.insert((ident, range)) {
-                        pairs.push((ident, range.clone()));
+                    match seen.entry((ident, range)) {
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(pairs.len());
+                            pairs.push((ident, range.clone(), vec![island]));
+                        }
+                        std::collections::hash_map::Entry::Occupied(o) => {
+                            let islands = &mut pairs[*o.get()].2;
+                            if !islands.contains(&island) {
+                                islands.push(island);
+                            }
+                        }
                     }
                 }
             }
         }
         let mut restored = 0;
-        for (ident, range) in pairs {
+        for (ident, range, holder_islands) in pairs {
             for owner in self.replica_owners(ident) {
+                if partitioned && !holder_islands.contains(&self.chord.island_of(owner)) {
+                    continue;
+                }
                 if self.store_at(owner.0, ident, &range) {
                     restored += 1;
                     self.telemetry.counter_add("replica.stores", 1);
@@ -723,8 +834,19 @@ impl ChurnNetwork {
     /// failure-aware through successor lists. Returns the owner, the hop
     /// count of the successful attempt, and how many attempts were spent;
     /// the failure side carries the attempts spent before giving up
-    /// (attempts or timeout budget exhausted).
-    fn lookup_with_retry(&mut self, origin: Id, key: Id) -> Result<(Id, usize, usize), usize> {
+    /// (attempts, timeout budget, or whole-query deadline exhausted).
+    ///
+    /// `wall` accumulates backoff delay across the *whole query* (all `l`
+    /// identifier lookups share it); when [`RetryPolicy::deadline`] is set
+    /// and the accumulated wall time reaches it, no further retries are
+    /// scheduled — checked *before* the backoff jitter draw so a
+    /// deadline-cut run stays deterministic.
+    fn lookup_with_retry(
+        &mut self,
+        origin: Id,
+        key: Id,
+        wall: &mut u64,
+    ) -> Result<(Id, usize, usize), usize> {
         let policy = self.retry.clone();
         let mut elapsed = 0u64;
         let mut spent = 0usize;
@@ -752,8 +874,17 @@ impl ChurnNetwork {
                 return Ok((owner, hops, attempt));
             }
             if attempt < policy.attempts {
+                if let Some(deadline) = policy.deadline {
+                    if *wall >= deadline {
+                        self.resilience.deadline_exhausted += 1;
+                        self.telemetry
+                            .counter_add("resilient.deadline_exhausted", 1);
+                        break;
+                    }
+                }
                 let delay = policy.backoff(attempt as u32, &mut self.rng);
                 elapsed += delay;
+                *wall += delay;
                 self.resilience.backoff_time += delay;
                 self.telemetry.counter_add("resilient.backoff_spent", delay);
                 self.telemetry.event(
@@ -783,6 +914,18 @@ impl ChurnNetwork {
     /// Cache-on-miss stores go to the full replica set of each reachable
     /// identifier ([`Self::replica_owners`]), which is where the
     /// replication factor pays off.
+    ///
+    /// While the network is [`Self::partition`]ed the query degrades
+    /// gracefully instead of erroring: lookups route island-locally; when
+    /// an identifier's *global* owner sits on the far side (or no owner is
+    /// reachable at all) the outcome is flagged
+    /// [`QueryOutcome::partition_degraded`] and counted in
+    /// [`ResilienceStats::partition_degraded_queries`]; a routed owner with
+    /// an empty bucket falls through to the island-local replica set
+    /// ([`DynamicNetwork::island_successors`]); and cache-on-miss stores go
+    /// to the island-local owners only — cross-island writes are
+    /// physically impossible during the window and are what post-heal
+    /// reconciliation restores.
     pub fn query_resilient(&mut self, q: &RangeSet) -> QueryOutcome {
         assert!(!q.is_empty(), "cannot query an empty range");
         let hashed_range = if self.config.padding > 0.0 {
@@ -804,6 +947,9 @@ impl ChurnNetwork {
             ids[self.rng.gen_index(ids.len())]
         };
 
+        let partitioned = self.chord.is_partitioned();
+        let mut partition_degraded = false;
+        let mut wall = 0u64;
         let mut hops = Vec::with_capacity(identifiers.len());
         let mut owners: Vec<Id> = Vec::new();
         let mut reached: Vec<u32> = Vec::new();
@@ -811,20 +957,50 @@ impl ChurnNetwork {
         let mut best: Option<Match> = None;
         for &ident in &identifiers {
             let key = self.place(ident);
-            match self.lookup_with_retry(origin, key) {
+            match self.lookup_with_retry(origin, key, &mut wall) {
                 Ok((owner, h, attempts)) => {
                     hops.push(h);
                     owners.push(owner);
                     reached.push(ident);
                     attempts_total += attempts;
-                    let Some(peer) = self.storage.get(&owner.0) else {
-                        continue;
-                    };
-                    let candidate = if self.config.use_local_index {
-                        peer.best_across_buckets(&hashed_range, self.config.matching)
-                    } else {
-                        peer.best_in_bucket(ident, &hashed_range, self.config.matching)
-                    };
+                    if partitioned && owner != self.chord.true_owner(key) {
+                        // Routing converged island-locally, but the node
+                        // that globally owns this identifier is across the
+                        // split — its bucket may hold answers we can't see.
+                        partition_degraded = true;
+                    }
+                    let mut candidate = self.storage.get(&owner.0).and_then(|peer| {
+                        if self.config.use_local_index {
+                            peer.best_across_buckets(&hashed_range, self.config.matching)
+                        } else {
+                            peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+                        }
+                    });
+                    if candidate.is_none() && partitioned {
+                        // Degraded read path: the routed owner came up
+                        // empty, so consult the rest of the island-local
+                        // replica set before giving up on this identifier.
+                        for replica in
+                            self.chord
+                                .island_successors(origin, key, self.config.replication)
+                        {
+                            if replica == owner {
+                                continue;
+                            }
+                            let held = self.storage.get(&replica.0).and_then(|peer| {
+                                if self.config.use_local_index {
+                                    peer.best_across_buckets(&hashed_range, self.config.matching)
+                                } else {
+                                    peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+                                }
+                            });
+                            if held.is_some() {
+                                owners.push(replica);
+                                candidate = held;
+                                break;
+                            }
+                        }
+                    }
                     if let Some(m) = candidate {
                         let better = match &best {
                             None => true,
@@ -837,6 +1013,9 @@ impl ChurnNetwork {
                 }
                 Err(spent) => {
                     attempts_total += spent;
+                    if partitioned {
+                        partition_degraded = true;
+                    }
                 }
             }
         }
@@ -846,6 +1025,11 @@ impl ChurnNetwork {
             self.resilience.source_fallbacks += 1;
             self.telemetry.counter_add("resilient.source_fallbacks", 1);
         }
+        if partition_degraded {
+            self.resilience.partition_degraded_queries += 1;
+            self.telemetry
+                .counter_add("resilient.partition_degraded", 1);
+        }
 
         let exact = best
             .as_ref()
@@ -854,7 +1038,15 @@ impl ChurnNetwork {
         let mut stored = false;
         if self.config.cache_on_miss && !exact {
             for &ident in &reached {
-                for owner in self.replica_owners(ident) {
+                let targets = if partitioned {
+                    // A write cannot cross the split: cache the partition
+                    // at the island-local owners only.
+                    self.chord
+                        .island_successors(origin, self.place(ident), self.config.replication)
+                } else {
+                    self.replica_owners(ident)
+                };
+                for owner in targets {
                     stored |= self.store_at(owner.0, ident, &hashed_range);
                 }
             }
@@ -878,6 +1070,7 @@ impl ChurnNetwork {
                 ("exact", exact.into()),
                 ("attempts", attempts_total.into()),
                 ("fallback", fell_back_to_source.into()),
+                ("degraded", partition_degraded.into()),
                 ("similarity", similarity.into()),
                 ("recall", recall.into()),
             ],
@@ -894,6 +1087,7 @@ impl ChurnNetwork {
             peers_contacted: distinct.len(),
             attempts: attempts_total,
             fell_back_to_source,
+            partition_degraded,
         }
     }
 
@@ -976,6 +1170,7 @@ impl ChurnNetwork {
             peers_contacted: distinct.len(),
             attempts,
             fell_back_to_source: reached == 0,
+            partition_degraded: false,
         })
     }
 }
@@ -1645,6 +1840,200 @@ mod tests {
     #[should_panic(expected = "budget must be positive")]
     fn zero_repair_budget_rejected() {
         small_net(1).anti_entropy_round(0);
+    }
+
+    /// The k smallest node ids become the minority island.
+    fn split_minority(net: &mut ChurnNetwork, k: usize) -> (Vec<Id>, Vec<Id>) {
+        let ids = net.chord().node_ids();
+        assert!(k < ids.len());
+        let minority: Vec<Id> = ids.iter().copied().take(k).collect();
+        let majority: Vec<Id> = ids.iter().copied().skip(k).collect();
+        net.partition(&[majority.clone(), minority.clone()]);
+        (majority, minority)
+    }
+
+    #[test]
+    fn partitioned_queries_degrade_and_heal_reconciles() {
+        let mut net = ChurnNetwork::new(
+            16,
+            SystemConfig::default().with_seed(41).with_replication(2),
+        )
+        .unwrap();
+        net.query_resilient(&r(100, 200));
+        assert!(net.query_resilient(&r(100, 200)).exact, "warm cache");
+        split_minority(&mut net, 5);
+        net.stabilize(128).expect("islands settle");
+        assert!(net.is_partitioned());
+        // In-window queries never error; origins land on both sides, so
+        // some must observe that a global owner sits across the split.
+        let mut degraded = 0u64;
+        for i in 0..12u32 {
+            let out = net.query_resilient(&r(i * 60, i * 60 + 70));
+            assert!((0.0..=1.0).contains(&out.recall));
+            degraded += out.partition_degraded as u64;
+        }
+        assert!(degraded > 0, "a 5/16 split must degrade some queries");
+        assert_eq!(net.resilience().partition_degraded_queries, degraded);
+        assert!(
+            net.resilience().partition_writes > 0,
+            "in-window caching writes island-locally"
+        );
+        // Heal the ring, then reconcile storage: the pre-partition cache
+        // must be an exact, undegraded hit again.
+        let rejoined = net.heal();
+        assert!(rejoined > 0, "split-brain rings must need rejoin edges");
+        assert!(!net.is_partitioned());
+        net.stabilize(128).expect("ring re-merges");
+        net.repair_until_quiescent(256, 1_000)
+            .expect("reconciliation quiesces");
+        let out = net.query_resilient(&r(100, 200));
+        assert!(out.exact, "pre-partition cache findable after heal");
+        assert!(!out.partition_degraded);
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn post_heal_repair_matches_oracle_re_replication() {
+        // Twin networks diverge identically through a partition window;
+        // after healing, budgeted anti-entropy on one and the oracle sweep
+        // on the other must land on bit-identical inventories.
+        let run = |_: ()| {
+            let mut net = ChurnNetwork::new(
+                14,
+                SystemConfig::default().with_seed(23).with_replication(2),
+            )
+            .unwrap();
+            for i in 0..4u32 {
+                net.query_resilient(&r(i * 90, i * 90 + 80));
+            }
+            split_minority(&mut net, 4);
+            net.stabilize(128).expect("islands settle");
+            for i in 0..8u32 {
+                net.query_resilient(&r(i * 70 + 20, i * 70 + 90));
+            }
+            net.heal();
+            net.stabilize(128).expect("ring re-merges");
+            net
+        };
+        let mut repaired = run(());
+        let mut oracle = run(());
+        assert_eq!(repaired.inventory(), oracle.inventory(), "same divergence");
+        assert!(repaired.resilience().partition_writes > 0);
+        repaired
+            .repair_until_quiescent(512, 7)
+            .expect("repair quiesces");
+        oracle.re_replicate();
+        assert_eq!(
+            repaired.inventory(),
+            oracle.inventory(),
+            "post-heal anti-entropy must reach the oracle fixed point"
+        );
+        let extra = repaired.anti_entropy_round(1_000);
+        assert_eq!(extra.entries_sent, 0);
+        assert_ledger(&repaired);
+    }
+
+    #[test]
+    fn leave_during_partition_hands_buckets_island_locally() {
+        let mut net = ChurnNetwork::new(16, SystemConfig::default().with_seed(41)).unwrap();
+        let (_, minority) = split_minority(&mut net, 5);
+        net.stabilize(128).expect("islands settle");
+        // Populate minority-island storage through in-window queries.
+        for i in 0..10u32 {
+            net.query_resilient(&r(i * 55, i * 55 + 65));
+        }
+        let leaver = *minority
+            .iter()
+            .find(|m| {
+                net.storage
+                    .get(&m.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .expect("some minority node caches a partition in-window");
+        let handed: Vec<(u32, RangeSet)> = net.storage[&leaver.0]
+            .entries()
+            .map(|(i, rg)| (i, rg.clone()))
+            .collect();
+        net.leave(leaver).unwrap();
+        net.stabilize(128).expect("recovers");
+        for (ident, range) in &handed {
+            let in_minority = minority.iter().filter(|m| **m != leaver).any(|m| {
+                net.storage
+                    .get(&m.0)
+                    .and_then(|p| p.bucket(*ident))
+                    .map(|b| b.contains(range))
+                    .unwrap_or(false)
+            });
+            assert!(
+                in_minority,
+                "copy for identifier {ident} must stay inside the island"
+            );
+        }
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn leave_as_sole_island_member_loses_buckets() {
+        let mut net = ChurnNetwork::new(12, SystemConfig::default().with_seed(2)).unwrap();
+        net.query_resilient(&r(100, 200));
+        let ids = net.chord().node_ids();
+        let holder = *ids
+            .iter()
+            .find(|id| {
+                net.storage
+                    .get(&id.0)
+                    .map(|p| p.partition_count() > 0)
+                    .unwrap_or(false)
+            })
+            .expect("someone holds the cache");
+        let rest: Vec<Id> = ids.iter().copied().filter(|i| *i != holder).collect();
+        let held = net.storage[&holder.0].partition_count() as u64;
+        net.partition(&[rest, vec![holder]]);
+        let lost_before = net.resilience().buckets_lost;
+        // Nobody reachable to inherit: the copies are lost, like an
+        // abrupt failure, and the ledger records it.
+        net.leave(holder).unwrap();
+        assert_eq!(net.resilience().buckets_lost, lost_before + held);
+        net.heal();
+        net.stabilize(128).expect("recovers");
+        assert_ledger(&net);
+    }
+
+    #[test]
+    fn unset_deadline_is_bit_for_bit_with_unreachable_deadline() {
+        // The deadline budget must not perturb the deterministic stream
+        // when it never fires: a policy with a never-reached deadline
+        // replays identically to the default.
+        let mut a = ChurnNetwork::new(15, SystemConfig::default().with_seed(37)).unwrap();
+        let mut b = ChurnNetwork::new(15, SystemConfig::default().with_seed(37)).unwrap();
+        b.set_retry_policy(RetryPolicy::default().with_deadline(u64::MAX));
+        a.set_lookup_loss(0.3);
+        b.set_lookup_loss(0.3);
+        for i in 0..20u32 {
+            let q = r((i % 5) * 80, (i % 5) * 80 + 40);
+            assert_eq!(a.query_resilient(&q), b.query_resilient(&q), "query {i}");
+        }
+        assert!(a.resilience().retries > 0, "loss must force retries");
+        assert_eq!(a.resilience(), b.resilience());
+    }
+
+    #[test]
+    fn zero_deadline_forfeits_every_retry() {
+        let mut net = ChurnNetwork::new(15, SystemConfig::default().with_seed(37)).unwrap();
+        net.set_retry_policy(RetryPolicy::default().with_deadline(0));
+        net.set_lookup_loss(0.4);
+        for i in 0..15u32 {
+            let out = net.query_resilient(&r(i * 50, i * 50 + 45));
+            assert!((0.0..=1.0).contains(&out.recall));
+        }
+        assert_eq!(net.resilience().retries, 0, "deadline 0 bars all retries");
+        assert!(net.resilience().deadline_exhausted > 0);
+        assert!(
+            net.resilience().lookups_failed > 0,
+            "lost lookups give up on the spot"
+        );
+        assert_eq!(net.resilience().backoff_time, 0, "no waiting ever happens");
     }
 
     #[test]

@@ -187,6 +187,57 @@ struct Shard {
     stats: Mutex<NetworkStats>,
 }
 
+/// Why the engine pipeline is poisoned. Returned by
+/// [`QueryEngine::drain`] / [`QueryEngine::shutdown`] instead of
+/// deadlocking when a worker panics mid-pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A worker panicked while processing the given query. The panic was
+    /// caught at the job boundary: the worker thread survives, the
+    /// conflict scheduler is released (a panicked prepare enrolls a
+    /// tombstone so the submission-order watermark still advances; a
+    /// panicked commit pops its shard FIFOs), and the first failure is
+    /// latched until shutdown.
+    WorkerPanicked {
+        /// Sequence number of the poisoned query.
+        seq: u64,
+        /// Pipeline stage that panicked (`"prepare"` or `"commit"`).
+        stage: &'static str,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::WorkerPanicked {
+                seq,
+                stage,
+                message,
+            } => {
+                write!(
+                    f,
+                    "engine worker panicked in {stage} of query {seq}: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Render a caught panic payload for [`EngineError::WorkerPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A query after its read-only phase: hashed, identifiers resolved (via
 /// the owning cache segment), routes computed against the immutable ring
 /// — everything the commit needs, plus the sorted set of shards it will
@@ -207,6 +258,10 @@ struct EngineCore {
     telemetry: Telemetry,
     nshards: usize,
     shards: Vec<Shard>,
+    /// Test-only fault hook: a query equal to the range panics at the
+    /// named stage, exercising the worker supervision path.
+    #[cfg(test)]
+    poison: Mutex<Option<(RangeSet, &'static str)>>,
 }
 
 /// [`PeerAccess`] over the locked owner shards of one commit.
@@ -288,6 +343,18 @@ impl EngineCore {
             telemetry: net.telemetry.clone(),
             nshards,
             shards,
+            #[cfg(test)]
+            poison: Mutex::new(None),
+        }
+    }
+
+    /// Panic if the fault hook marks this query for the given stage.
+    #[cfg(test)]
+    fn check_poison(&self, q: &RangeSet, stage: &str) {
+        if let Some((poisoned, at)) = self.poison.lock().as_ref() {
+            if *at == stage && poisoned == q {
+                panic!("poisoned query reached {stage}");
+            }
         }
     }
 
@@ -296,6 +363,8 @@ impl EngineCore {
     /// immutable ring, and record which shards the commit will touch.
     fn prepare(&self, q: &RangeSet, origin: Id) -> Prepared {
         assert!(!q.is_empty(), "cannot query an empty range");
+        #[cfg(test)]
+        self.check_poison(q, "prepare");
         let hashed = if self.config.padding > 0.0 {
             q.pad(self.config.padding)
         } else {
@@ -362,6 +431,8 @@ impl EngineCore {
     /// scheduler guarantees no other in-flight commit holds any of these
     /// shards, so the locks are uncontended by construction.
     fn commit(&self, seq: u64, prepared: Prepared) -> QueryOutcome {
+        #[cfg(test)]
+        self.check_poison(&prepared.query, "commit");
         let guards: Vec<(usize, MutexGuard<'_, ShardCore>)> = prepared
             .shards
             .iter()
@@ -430,9 +501,11 @@ impl EngineCore {
 /// of its FIFOs, and on completion releases its successors.
 struct Sched {
     /// Next sequence number to enroll; prepares finishing out of order
-    /// park in `pending` until their turn.
+    /// park in `pending` until their turn. `None` marks a tombstone — a
+    /// query whose prepare panicked; it advances the watermark without
+    /// joining any shard FIFO, so its successors are not wedged.
     watermark: u64,
-    pending: FxHashMap<u64, Prepared>,
+    pending: FxHashMap<u64, Option<Prepared>>,
     /// Enrolled but not yet committed.
     enrolled: FxHashMap<u64, Prepared>,
     /// Per-shard FIFOs of enrolled sequence numbers.
@@ -474,20 +547,28 @@ struct Shared {
     flow: StdMutex<usize>,
     flow_cv: Condvar,
     queue_cap: usize,
+    /// First worker panic, latched until shutdown. Once set, the engine
+    /// is poisoned: `drain`/`shutdown` report it instead of outcomes.
+    failure: Mutex<Option<EngineError>>,
 }
 
 impl Shared {
     /// Enroll newly prepared queries in submission order and dispatch any
-    /// that are immediately unblocked.
-    fn enroll(&self, seq: u64, prepared: Prepared) {
+    /// that are immediately unblocked. A `None` entry is a tombstone for
+    /// a query whose prepare panicked: the watermark moves past it so
+    /// later queries still commit.
+    fn enroll(&self, seq: u64, prepared: Option<Prepared>) {
         let mut sched = self.sched.lock();
         sched.pending.insert(seq, prepared);
         loop {
             let next = sched.watermark;
-            let Some(prepared) = sched.pending.remove(&next) else {
+            let Some(slot) = sched.pending.remove(&next) else {
                 break;
             };
             sched.watermark += 1;
+            let Some(prepared) = slot else {
+                continue;
+            };
             let mut waits = 0usize;
             for &s in &prepared.shards {
                 sched.queues[s].push_back(next);
@@ -502,6 +583,33 @@ impl Shared {
                 sched.blocked.insert(next, waits);
             }
         }
+    }
+
+    /// Latch the first worker panic (later ones are dropped — the first
+    /// is the root cause; the rest are usually collateral).
+    fn record_failure(
+        &self,
+        seq: u64,
+        stage: &'static str,
+        payload: Box<dyn std::any::Any + Send>,
+    ) {
+        let mut failure = self.failure.lock();
+        if failure.is_none() {
+            *failure = Some(EngineError::WorkerPanicked {
+                seq,
+                stage,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+        self.core.telemetry.counter_add("engine.worker_panics", 1);
+    }
+
+    /// Free one in-flight slot and wake the controller.
+    fn finish_one(&self) {
+        let mut inflight = self.flow.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight -= 1;
+        drop(inflight);
+        self.flow_cv.notify_all();
     }
 
     /// Pop `seq` from its owner FIFOs and dispatch any successor that
@@ -531,8 +639,20 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
         match rx.recv() {
             Err(_) | Ok(Job::Stop) => break,
             Ok(Job::Prepare(seq, query, origin)) => {
-                let prepared = shared.core.prepare(&query, origin);
-                shared.enroll(seq, prepared);
+                // Supervise the job, not the thread: a panicking query
+                // must not take a worker down (the pool would starve) or
+                // wedge the watermark (successors would never enroll).
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.core.prepare(&query, origin)
+                }));
+                match result {
+                    Ok(prepared) => shared.enroll(seq, Some(prepared)),
+                    Err(payload) => {
+                        shared.record_failure(seq, "prepare", payload);
+                        shared.enroll(seq, None);
+                        shared.finish_one();
+                    }
+                }
             }
             Ok(Job::Commit(seq)) => {
                 let prepared = shared
@@ -542,13 +662,22 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
                     .remove(&seq)
                     .expect("scheduled commit was enrolled");
                 let owner_shards = prepared.shards.clone();
-                let outcome = shared.core.commit(seq, prepared);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.core.commit(seq, prepared)
+                }));
+                // Release the shard FIFOs even on panic — successors
+                // sharing a shard must not deadlock behind a dead commit.
+                // (parking_lot mutexes do not poison; an unwound commit
+                // may leave partial peer state, which the latched error
+                // makes visible.)
                 shared.release(seq, &owner_shards);
-                shared.results.lock().insert(seq, outcome);
-                let mut inflight = shared.flow.lock().unwrap_or_else(|e| e.into_inner());
-                *inflight -= 1;
-                drop(inflight);
-                shared.flow_cv.notify_all();
+                match result {
+                    Ok(outcome) => {
+                        shared.results.lock().insert(seq, outcome);
+                    }
+                    Err(payload) => shared.record_failure(seq, "commit", payload),
+                }
+                shared.finish_one();
             }
         }
     }
@@ -577,6 +706,7 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
 /// engine.submit(&RangeSet::interval(30, 50));
 /// engine.submit(&RangeSet::interval(30, 50));
 /// let (net, outcomes) = engine.shutdown();
+/// let outcomes = outcomes.expect("no worker panicked");
 /// assert_eq!(outcomes.len(), 2);
 /// assert_eq!(net.stats().queries, 2);
 /// ```
@@ -609,6 +739,7 @@ impl QueryEngine {
             flow: StdMutex::new(0),
             flow_cv: Condvar::new(),
             queue_cap: opts.queue,
+            failure: Mutex::new(None),
         });
         let workers = (0..nworkers)
             .map(|_| {
@@ -666,9 +797,23 @@ impl QueryEngine {
         *self.shared.flow.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Wait until every submitted query has committed, then return their
-    /// outcomes in submission order (only those not already drained).
-    pub fn drain(&mut self) -> Vec<QueryOutcome> {
+    /// Arm the test-only fault hook: the next query equal to `q` panics
+    /// at `stage` (`"prepare"` or `"commit"`).
+    #[cfg(test)]
+    fn poison(&self, q: RangeSet, stage: &'static str) {
+        *self.shared.core.poison.lock() = Some((q, stage));
+    }
+
+    /// Wait until every submitted query has committed (or tombstoned),
+    /// then return their outcomes in submission order (only those not
+    /// already drained).
+    ///
+    /// The wait always terminates: a worker panic is caught at the job
+    /// boundary, frees its in-flight slot, and latches an
+    /// [`EngineError`], which this returns instead of the outcomes. Once
+    /// poisoned, the engine stays poisoned — later drains (and
+    /// [`Self::shutdown`]) keep reporting the first failure.
+    pub fn drain(&mut self) -> Result<Vec<QueryOutcome>, EngineError> {
         {
             let mut inflight = self.shared.flow.lock().unwrap_or_else(|e| e.into_inner());
             while *inflight > 0 {
@@ -680,16 +825,27 @@ impl QueryEngine {
             }
         }
         let mut results = self.shared.results.lock();
+        if let Some(err) = self.shared.failure.lock().clone() {
+            // Drop whatever partial results this window produced; the
+            // batch is not trustworthy once a commit unwound mid-flight.
+            for seq in self.drained_upto..self.next_seq {
+                results.remove(&seq);
+            }
+            self.drained_upto = self.next_seq;
+            return Err(err);
+        }
         let outcomes = (self.drained_upto..self.next_seq)
             .map(|seq| results.remove(&seq).expect("committed query has a result"))
             .collect();
         self.drained_upto = self.next_seq;
-        outcomes
+        Ok(outcomes)
     }
 
     /// Drain, stop the workers, and merge the shards back into the
-    /// network. Returns the network and any outcomes not yet drained.
-    pub fn shutdown(mut self) -> (RangeSelectNetwork, Vec<QueryOutcome>) {
+    /// network. Returns the network and any outcomes not yet drained —
+    /// or the latched [`EngineError`] if a worker panicked, in which case
+    /// the merged network may contain a partially applied commit.
+    pub fn shutdown(mut self) -> (RangeSelectNetwork, Result<Vec<QueryOutcome>, EngineError>) {
         let outcomes = self.drain();
         for _ in 0..self.workers.len() {
             let _ = self.shared.tx.send(Job::Stop);
@@ -789,6 +945,10 @@ impl RangeSelectNetwork {
         }
         let (net, outcomes) = engine.shutdown();
         *self = net;
+        // The batch API has no error channel; a worker panic propagates
+        // as a panic on the calling thread (previously it deadlocked or
+        // aborted, so this is strictly more diagnosable).
+        let outcomes = outcomes.expect("engine worker panicked");
         telemetry.span_end(span, &[("queries", outcomes.len().into())]);
         outcomes
     }
@@ -938,13 +1098,14 @@ mod tests {
         for q in head {
             engine.submit(q);
         }
-        let first = engine.drain();
+        let first = engine.drain().expect("no worker panicked");
         assert_eq!(first.len(), head.len());
         assert_eq!(engine.in_flight(), 0);
         for q in tail {
             engine.submit(q);
         }
         let (net, second) = engine.shutdown();
+        let second = second.expect("no worker panicked");
         assert_eq!(second.len(), tail.len());
         assert_eq!(net.stats().queries, qs.len() as u64);
 
@@ -979,6 +1140,7 @@ mod tests {
             assert!(engine.in_flight() <= 1);
         }
         let (net, out) = engine.shutdown();
+        let out = out.expect("no worker panicked");
         assert_eq!(out.len(), trace().len());
         assert_eq!(net.stats().queries, trace().len() as u64);
     }
@@ -1063,6 +1225,69 @@ mod tests {
             .collect();
         assert_eq!(starts.len(), 1, "one engine.batch span, no per-query spans");
         assert_eq!(starts[0].name, "engine.batch");
+    }
+
+    #[test]
+    fn prepare_panic_latches_error_and_successors_still_commit() {
+        let net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(19));
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 4,
+                workers: 2,
+                queue: 8,
+            },
+        );
+        engine.poison(r(666, 700), "prepare");
+        engine.submit(&r(10, 50));
+        engine.submit(&r(666, 700)); // panics mid-prepare
+                                     // Successors enroll past the tombstone — the watermark must not
+                                     // wedge behind the dead query (the old deadlock).
+        for i in 0..20u32 {
+            engine.submit(&r(i * 30 + 1, i * 30 + 40));
+        }
+        let err = engine.drain().expect_err("poisoned batch must error");
+        match &err {
+            EngineError::WorkerPanicked {
+                seq,
+                stage,
+                message,
+            } => {
+                assert_eq!(*seq, 1);
+                assert_eq!(*stage, "prepare");
+                assert!(message.contains("poisoned"), "got: {message}");
+            }
+        }
+        // Poisoned stays poisoned; shutdown reports the same failure but
+        // still hands the network back.
+        let (net, outcomes) = engine.shutdown();
+        assert_eq!(outcomes, Err(err));
+        assert_eq!(net.len(), 30);
+    }
+
+    #[test]
+    fn commit_panic_releases_conflicting_successors() {
+        let net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(23));
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 16,
+            },
+        );
+        engine.poison(r(400, 460), "commit");
+        // Identical queries own the same shards, so every successor
+        // queues in the panicking commit's FIFOs: the release on unwind
+        // is what keeps this from deadlocking.
+        for _ in 0..8 {
+            engine.submit(&r(400, 460));
+        }
+        let err = engine.drain().expect_err("commit panic must latch");
+        match err {
+            EngineError::WorkerPanicked { stage, .. } => assert_eq!(stage, "commit"),
+        }
+        assert_eq!(engine.in_flight(), 0, "every slot freed despite panics");
     }
 
     #[test]

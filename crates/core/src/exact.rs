@@ -107,6 +107,7 @@ impl ExactMatchNetwork {
             peers_contacted: 1,
             attempts: 1,
             fell_back_to_source: false,
+            partition_degraded: false,
         }
     }
 

@@ -52,7 +52,7 @@ pub use churn::{ChurnNetwork, InventoryEntry, RepairRound};
 pub use config::{MatchMeasure, SystemConfig};
 pub use data::DataNetwork;
 pub use durable::DurabilityConfig;
-pub use engine::{EngineOptions, QueryEngine};
+pub use engine::{EngineError, EngineOptions, QueryEngine};
 pub use exact::ExactMatchNetwork;
 pub use multiattr::{MultiAttrNetwork, MultiRange};
 pub use network::{BatchTimings, NetworkStats, QueryOutcome, RangeSelectNetwork};

@@ -49,6 +49,14 @@ pub struct QueryOutcome {
     /// degraded to fetching directly from the source relations — the
     /// paper's soft-state escape hatch, surfaced instead of an error.
     pub fell_back_to_source: bool,
+    /// True if the query ran while the network was partitioned and at
+    /// least one identifier's *global* owner was unreachable from the
+    /// origin's island — the answer came from island-local replicas (or
+    /// the source), so it may be stale until the partition heals and
+    /// reconciliation runs. Only the partition-aware resilient path
+    /// ([`crate::ChurnNetwork::query_resilient`]) sets this; every other
+    /// query path reports `false`.
+    pub partition_degraded: bool,
 }
 
 /// Wall-clock seconds each stage of a [`RangeSelectNetwork::query_batch`]
@@ -453,6 +461,7 @@ pub(crate) fn commit_routed<P: PeerAccess, S: StatsSink>(
         peers_contacted: distinct.len(),
         attempts,
         fell_back_to_source: reached == 0,
+        partition_degraded: false,
     }
 }
 

@@ -625,6 +625,7 @@ impl ProtoNetwork {
             peers_contacted: 0, // not tracked in the message rendition
             attempts,
             fell_back_to_source,
+            partition_degraded: false,
         }
     }
 }
@@ -826,6 +827,7 @@ impl ThreadedProtoNetwork {
             peers_contacted: 0,
             attempts,
             fell_back_to_source: false,
+            partition_degraded: false,
         }
     }
 

@@ -69,6 +69,7 @@ mod tests {
             peers_contacted: 0,
             attempts: 0,
             fell_back_to_source: false,
+            partition_degraded: false,
         }
     }
 

@@ -43,6 +43,16 @@ pub struct RetryPolicy {
     pub max_backoff: u64,
     /// Hop budget handed to the failure-aware routing of retries.
     pub hop_budget: usize,
+    /// Optional wall-clock deadline (virtual time units) for one *whole*
+    /// query: [`crate::ChurnNetwork::query_resilient`] accumulates every
+    /// backoff delay it spends across all `l` identifier lookups, and once
+    /// the total reaches the deadline no further retries are scheduled —
+    /// remaining identifiers get their first attempt only (an attempt
+    /// itself costs no wall time in the simulation; only waiting does).
+    /// `None` (the default) disables the budget, preserving bit-for-bit
+    /// behavior of earlier revisions. Contrast with `timeout_budget`,
+    /// which bounds backoff *per identifier*.
+    pub deadline: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -53,6 +63,7 @@ impl Default for RetryPolicy {
             base_backoff: 100,
             max_backoff: 1_600,
             hop_budget: 64,
+            deadline: None,
         }
     }
 }
@@ -67,7 +78,14 @@ impl RetryPolicy {
             base_backoff: 0,
             max_backoff: 0,
             hop_budget: 0,
+            deadline: None,
         }
+    }
+
+    /// This policy with a whole-query wall-clock deadline installed.
+    pub fn with_deadline(mut self, deadline: u64) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Backoff delay before retry number `retry` (1-based): exponential
@@ -125,6 +143,16 @@ pub struct ResilienceStats {
     pub repair_rounds: u64,
     /// Partition copies pushed to replica owners by those rounds.
     pub repair_entries_sent: u64,
+    /// Queries answered while the network was split and at least one
+    /// identifier's global owner was unreachable (mirrors
+    /// [`crate::QueryOutcome::partition_degraded`]).
+    pub partition_degraded_queries: u64,
+    /// Partition copies written anywhere while the network was split —
+    /// the divergence that post-heal reconciliation must converge.
+    pub partition_writes: u64,
+    /// Retries forfeited because the whole-query
+    /// [`RetryPolicy::deadline`] was exhausted.
+    pub deadline_exhausted: u64,
 }
 
 #[cfg(test)]
@@ -155,6 +183,7 @@ mod tests {
             base_backoff: 100,
             max_backoff: 400,
             hop_budget: 8,
+            deadline: None,
         };
         let mut rng = DetRng::new(7);
         let d1 = p.backoff(1, &mut rng);
@@ -206,7 +235,22 @@ mod tests {
                 buckets_recovered: 0,
                 repair_rounds: 0,
                 repair_entries_sent: 0,
+                partition_degraded_queries: 0,
+                partition_writes: 0,
+                deadline_exhausted: 0,
             }
+        );
+    }
+
+    #[test]
+    fn default_policy_has_no_deadline() {
+        // The deadline budget is strictly opt-in: the default policy must
+        // behave bit-for-bit like revisions that predate the field.
+        assert_eq!(RetryPolicy::default().deadline, None);
+        assert_eq!(RetryPolicy::none().deadline, None);
+        assert_eq!(
+            RetryPolicy::default().with_deadline(500).deadline,
+            Some(500)
         );
     }
 }

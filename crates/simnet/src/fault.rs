@@ -14,6 +14,9 @@
 //!
 //! * **crash**: a node crashed at or before the send time neither sends
 //!   nor receives — the message is dropped;
+//! * **partition**: while a [`PartitionWindow`] is open, a message whose
+//!   endpoints sit on different islands is dropped, counted in its own
+//!   `partitioned` ledger column (island-internal traffic is untouched);
 //! * **pause**: a message to a node inside a pause window is deferred to
 //!   the window's end (a stalled-but-alive process), not dropped;
 //! * **drop**: the message vanishes, counted in `dropped`;
@@ -45,6 +48,43 @@ pub struct PauseWindow {
     pub until: SimTime,
 }
 
+/// A scheduled network partition: within `[from, until)` the nodes listed
+/// in `groups` are split into islands and cross-island traffic is dropped.
+///
+/// Nodes not listed in any group are treated as members of island 0 (the
+/// majority side), so a window only needs to enumerate the minority
+/// islands it carves off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The islands: ≥2 disjoint, non-empty groups of node indices.
+    pub groups: Vec<Vec<usize>>,
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive) — the heal instant.
+    pub until: SimTime,
+}
+
+impl PartitionWindow {
+    /// Island index of `node` under this window (unlisted nodes belong to
+    /// island 0).
+    pub fn island_of(&self, node: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&node))
+            .unwrap_or(0)
+    }
+
+    /// True if the window is open at `now`.
+    pub fn is_open(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+
+    /// True if this window severs the directed link `from → to` at `now`.
+    pub fn severs(&self, from: usize, to: usize, now: SimTime) -> bool {
+        self.is_open(now) && self.island_of(from) != self.island_of(to)
+    }
+}
+
 /// A declarative description of how a run's transport misbehaves.
 ///
 /// Built with the `with_*` methods; executed by a [`FaultInjector`]. The
@@ -65,6 +105,9 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashWindow>,
     /// Temporary node pauses.
     pub pauses: Vec<PauseWindow>,
+    /// Scheduled network partitions (cross-island traffic is dropped
+    /// while a window is open).
+    pub partitions: Vec<PartitionWindow>,
     /// Storage fault: probability a crash leaves a torn (partial) tail
     /// write on a peer's durable log instead of a clean truncation.
     /// Executed by `ars-store`'s simulated disks, not by the transport
@@ -93,6 +136,7 @@ impl FaultPlan {
             && self.link_drop.is_empty()
             && self.crashes.is_empty()
             && self.pauses.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// Drop every message independently with probability `p`.
@@ -153,6 +197,39 @@ impl FaultPlan {
         self
     }
 
+    /// Split the network into `groups` islands over `[from, until)`.
+    /// Nodes not listed in any group belong to island 0, so minority
+    /// islands can be declared without enumerating the majority.
+    ///
+    /// # Panics
+    /// Panics unless `from < until`, there are ≥2 groups, every group is
+    /// non-empty, and no node appears in two groups.
+    pub fn with_partition(
+        mut self,
+        groups: Vec<Vec<usize>>,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        assert!(from < until, "empty partition window");
+        assert!(groups.len() >= 2, "a partition needs at least two islands");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "empty partition island"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for g in &groups {
+            for &n in g {
+                assert!(seen.insert(n), "node {n} listed in two islands");
+            }
+        }
+        self.partitions.push(PartitionWindow {
+            groups,
+            from,
+            until,
+        });
+        self
+    }
+
     /// Declare the storage-fault surface crash-restart runs execute on
     /// their simulated disks: `torn_write_p` per-crash torn tail writes,
     /// `bit_flip_p` per-crash tail bit flips. Un-synced suffixes are
@@ -189,6 +266,9 @@ impl FaultPlan {
 pub enum FaultAction {
     /// The message is gone (loss, or an endpoint is crashed).
     Drop,
+    /// The message crossed an open partition boundary and is gone —
+    /// accounted in its own `partitioned` ledger column, not `dropped`.
+    Partitioned,
     /// Deliver one copy per entry; each entry is the *extra* delay (beyond
     /// the latency model) to add to that copy. `vec![0]` is a clean send.
     Deliver(Vec<SimTime>),
@@ -198,7 +278,7 @@ impl FaultAction {
     /// Number of copies this action schedules (0 when dropped).
     pub fn copies(&self) -> usize {
         match self {
-            FaultAction::Drop => 0,
+            FaultAction::Drop | FaultAction::Partitioned => 0,
             FaultAction::Deliver(extra) => extra.len(),
         }
     }
@@ -212,6 +292,7 @@ pub struct FaultInjector {
     dropped: u64,
     duplicated: u64,
     delayed: u64,
+    partitioned: u64,
 }
 
 impl FaultInjector {
@@ -223,6 +304,7 @@ impl FaultInjector {
             dropped: 0,
             duplicated: 0,
             delayed: 0,
+            partitioned: 0,
         }
     }
 
@@ -246,6 +328,11 @@ impl FaultInjector {
         self.delayed
     }
 
+    /// Messages lost to an open partition window.
+    pub fn partitioned(&self) -> u64 {
+        self.partitioned
+    }
+
     /// True if `node` has crashed at or before `now`.
     pub fn is_crashed(&self, node: usize, now: SimTime) -> bool {
         self.plan
@@ -266,13 +353,32 @@ impl FaultInjector {
             .unwrap_or(0)
     }
 
+    /// True if an open partition window severs the link `from → to` at
+    /// `now` (used at send time here, and at arrival time by the
+    /// simulator for messages in flight when a window opens).
+    pub fn is_partitioned(&self, from: usize, to: usize, now: SimTime) -> bool {
+        self.plan.partitions.iter().any(|w| w.severs(from, to, now))
+    }
+
+    /// Record a partition loss detected outside `on_send` (a message
+    /// already in flight when the window opened, lost on arrival).
+    pub fn note_partitioned(&mut self) {
+        self.partitioned += 1;
+    }
+
     /// Decide the fate of one message sent `from → to` at virtual time
     /// `now`. Consumes randomness in a fixed order (drop, duplicate,
-    /// per-copy delay) so runs replay identically.
+    /// per-copy delay) so runs replay identically; crash and partition
+    /// checks consume none, so plans replay bit-identically outside their
+    /// windows.
     pub fn on_send(&mut self, from: usize, to: usize, now: SimTime) -> FaultAction {
         if self.is_crashed(from, now) || self.is_crashed(to, now) {
             self.dropped += 1;
             return FaultAction::Drop;
+        }
+        if self.is_partitioned(from, to, now) {
+            self.partitioned += 1;
+            return FaultAction::Partitioned;
         }
         let p = self.plan.drop_p_for(from, to);
         if p > 0.0 && self.rng.gen_bool(p) {
@@ -388,6 +494,61 @@ mod tests {
     #[should_panic(expected = "empty pause window")]
     fn bad_pause_rejected() {
         let _ = FaultPlan::none().with_pause(0, 10, 10);
+    }
+
+    #[test]
+    fn partition_drops_cross_island_only_while_open() {
+        let plan = FaultPlan::none().with_partition(vec![vec![0, 1], vec![2, 3]], 100, 200);
+        assert!(!plan.is_benign(), "a partition plan is not benign");
+        let mut inj = FaultInjector::new(plan, 1);
+        // Before the window: everything flows.
+        assert_eq!(inj.on_send(0, 2, 99).copies(), 1);
+        // Open window: cross-island severed both ways, intra-island fine.
+        assert_eq!(inj.on_send(0, 2, 100), FaultAction::Partitioned);
+        assert_eq!(inj.on_send(3, 1, 150), FaultAction::Partitioned);
+        assert_eq!(inj.on_send(0, 1, 150).copies(), 1);
+        assert_eq!(inj.on_send(2, 3, 150).copies(), 1);
+        // Healed: flows again.
+        assert_eq!(inj.on_send(0, 2, 200).copies(), 1);
+        assert_eq!(inj.partitioned(), 2);
+        assert_eq!(inj.dropped(), 0, "partition losses have their own column");
+    }
+
+    #[test]
+    fn unlisted_nodes_join_island_zero() {
+        // Only the minority island is enumerated; node 7 is unlisted and
+        // therefore sits with island 0.
+        let plan = FaultPlan::none().with_partition(vec![vec![0], vec![5, 6]], 0, 10);
+        let mut inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.on_send(7, 0, 5).copies(), 1);
+        assert_eq!(inj.on_send(7, 5, 5), FaultAction::Partitioned);
+    }
+
+    #[test]
+    fn partition_consumes_no_randomness() {
+        // Identical drop-plans with and without a partition window must
+        // make identical drop decisions outside the window.
+        let base = FaultPlan::none().with_drop(0.5);
+        let with_part = base
+            .clone()
+            .with_partition(vec![vec![0], vec![1]], 10_000, 10_001);
+        let mut a = FaultInjector::new(base, 42);
+        let mut b = FaultInjector::new(with_part, 42);
+        for t in 0..200 {
+            assert_eq!(a.on_send(0, 1, t), b.on_send(0, 1, t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two islands")]
+    fn single_island_partition_rejected() {
+        let _ = FaultPlan::none().with_partition(vec![vec![0, 1]], 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed in two islands")]
+    fn overlapping_islands_rejected() {
+        let _ = FaultPlan::none().with_partition(vec![vec![0, 1], vec![1, 2]], 0, 10);
     }
 
     #[test]

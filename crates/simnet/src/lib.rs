@@ -16,9 +16,10 @@
 //!   `bytes`) so protocol messages have a concrete encoding, exercised by
 //!   round-trip tests.
 //! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
-//!   (drop, duplication, extra delay, node crash/pause windows) executed
-//!   identically by both runtimes, driving the `SimStats` accounting
-//!   invariant `sent == delivered + dropped + queued`.
+//!   (drop, duplication, extra delay, node crash/pause windows, and
+//!   scheduled network partitions) executed identically by both runtimes,
+//!   driving the `SimStats` accounting invariant
+//!   `sent == delivered + dropped + partitioned + queued`.
 
 #![warn(missing_docs)]
 
@@ -29,6 +30,6 @@ pub mod sim;
 pub mod threaded;
 
 pub use event::{ConstantLatency, LatencyModel, UniformLatency};
-pub use fault::{FaultAction, FaultInjector, FaultPlan};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, PartitionWindow};
 pub use sim::{Node, NodeCtx, SimNet, SimStats};
 pub use threaded::ThreadedNet;

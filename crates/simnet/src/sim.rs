@@ -12,18 +12,21 @@ use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 /// Aggregate transport statistics for one run.
 ///
 /// Every send attempt is accounted exactly once, so at any instant
-/// `sent == delivered + dropped + queued` — the conservation invariant the
-/// fault layer is tested against. Duplicated messages count each copy as a
-/// separate send.
+/// `sent == delivered + dropped + partitioned + queued` — the conservation
+/// invariant the fault layer is tested against. Duplicated messages count
+/// each copy as a separate send.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total messages delivered.
     pub delivered: u64,
-    /// Total send attempts (delivered + dropped + still queued).
+    /// Total send attempts (delivered + dropped + partitioned + still
+    /// queued).
     pub sent: u64,
     /// Messages dropped by the fault layer (loss model or crashed
     /// endpoint).
     pub dropped: u64,
+    /// Messages lost to an open partition window (cross-island traffic).
+    pub partitioned: u64,
     /// Messages currently scheduled but not yet delivered.
     pub queued: u64,
     /// Total wire bytes sent (only counted when a meter is installed via
@@ -35,9 +38,9 @@ pub struct SimStats {
 
 impl SimStats {
     /// The conservation invariant: every send attempt is delivered,
-    /// dropped, or still queued.
+    /// dropped, lost to a partition, or still queued.
     pub fn is_conserved(&self) -> bool {
-        self.sent == self.delivered + self.dropped + self.queued
+        self.sent == self.delivered + self.dropped + self.partitioned + self.queued
     }
 
     /// Re-export the message ledger as `simnet.*` telemetry gauges, so a
@@ -48,6 +51,7 @@ impl SimStats {
         telemetry.gauge_set("simnet.sent", self.sent);
         telemetry.gauge_set("simnet.delivered", self.delivered);
         telemetry.gauge_set("simnet.dropped", self.dropped);
+        telemetry.gauge_set("simnet.partitioned", self.partitioned);
         telemetry.gauge_set("simnet.queued", self.queued);
         telemetry.gauge_set("simnet.bytes", self.bytes);
         telemetry.gauge_set("simnet.end_time", self.end_time);
@@ -176,6 +180,10 @@ impl<M: Clone, L: LatencyModel> SimNet<M, L> {
                 self.stats.sent += 1;
                 self.stats.dropped += 1;
             }
+            FaultAction::Partitioned => {
+                self.stats.sent += 1;
+                self.stats.partitioned += 1;
+            }
             FaultAction::Deliver(extras) => {
                 for extra in extras {
                     self.stats.sent += 1;
@@ -235,10 +243,19 @@ impl<M: Clone, L: LatencyModel> SimNet<M, L> {
         self.now = at;
         // A message in flight when its destination crashed is lost on
         // arrival (the send-time check only sees crashes already past).
-        if let Some(inj) = &self.faults {
+        // Likewise, a message that was in flight when a partition window
+        // opened cannot cross the boundary: it is lost on arrival and
+        // counted in the `partitioned` column.
+        if let Some(inj) = &mut self.faults {
             if inj.is_crashed(to, at) {
                 self.stats.queued -= 1;
                 self.stats.dropped += 1;
+                return true;
+            }
+            if inj.is_partitioned(from, to, at) {
+                inj.note_partitioned();
+                self.stats.queued -= 1;
+                self.stats.partitioned += 1;
                 return true;
             }
         }
@@ -440,6 +457,56 @@ mod tests {
         let s = net.stats();
         assert!(s.dropped >= 1, "in-flight message to crashed node lost");
         assert!(s.is_conserved());
+    }
+
+    #[test]
+    fn partition_window_severs_and_heals() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        // Islands {0} and {1}, open over [0, 100); latency is 10.
+        net.set_faults(
+            FaultPlan::none().with_partition(vec![vec![0], vec![1]], 0, 100),
+            1,
+        );
+        net.inject(0, 1, 0); // cross-island during the window: lost
+        net.inject(0, 0, 0); // island-internal: delivered
+        net.run(u64::MAX);
+        let s = net.stats().clone();
+        assert_eq!(s.partitioned, 1);
+        assert_eq!(s.dropped, 0);
+        assert_eq!(s.delivered, 1);
+        assert!(s.is_conserved());
+        // Advance virtual time past the heal instant with island-internal
+        // traffic, then the severed link works again.
+        while net.now() < 100 {
+            net.inject(0, 0, 0);
+            net.run(u64::MAX);
+        }
+        let delivered_before = net.stats().delivered;
+        net.inject(0, 1, 0);
+        net.run(u64::MAX);
+        assert_eq!(net.stats().delivered, delivered_before + 1);
+        assert_eq!(net.stats().partitioned, 1, "no loss after heal");
+        assert!(net.stats().is_conserved());
+    }
+
+    #[test]
+    fn in_flight_message_lost_when_window_opens() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        // Window opens at t=5; the message is sent at t=0 with latency 10,
+        // so it is in flight when the boundary comes up and must not cross.
+        net.set_faults(
+            FaultPlan::none().with_partition(vec![vec![0], vec![1]], 5, 1000),
+            1,
+        );
+        net.inject(0, 1, 0);
+        net.run(u64::MAX);
+        let s = net.stats();
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.partitioned, 1);
+        assert!(s.is_conserved());
+        assert_eq!(net.fault_injector().unwrap().partitioned(), 1);
     }
 
     #[test]

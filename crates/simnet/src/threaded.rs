@@ -31,6 +31,7 @@ struct NetCounters {
     sent: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    partitioned: AtomicU64,
 }
 
 /// A running threaded network.
@@ -43,7 +44,8 @@ pub struct ThreadedNet<M: Send + 'static> {
 
 /// Pass one send attempt through the (optional, shared) fault layer and
 /// push the surviving copies into the destination mailbox. Every attempt
-/// is accounted exactly once: `sent == delivered + dropped` at quiescence.
+/// is accounted exactly once: `sent == delivered + dropped + partitioned`
+/// at quiescence.
 fn faulty_send<M: Clone + Send>(
     senders: &[Sender<Envelope<M>>],
     counters: &NetCounters,
@@ -61,6 +63,10 @@ fn faulty_send<M: Clone + Send>(
         FaultAction::Drop => {
             counters.sent.fetch_add(1, Ordering::Relaxed);
             counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        FaultAction::Partitioned => {
+            counters.sent.fetch_add(1, Ordering::Relaxed);
+            counters.partitioned.fetch_add(1, Ordering::Relaxed);
         }
         FaultAction::Deliver(extras) => {
             // Extra delay has no wall-clock meaning here; each entry still
@@ -207,15 +213,18 @@ impl<M: Clone + Send + 'static> ThreadedNet<M> {
     /// balanced and stable). Returns false on timeout.
     pub fn await_quiescence(&self, timeout: std::time::Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut last = (u64::MAX, u64::MAX, u64::MAX);
+        let mut last = (u64::MAX, u64::MAX, u64::MAX, u64::MAX);
         loop {
             let sent = self.counters.sent.load(Ordering::SeqCst);
             let delivered = self.counters.delivered.load(Ordering::SeqCst);
             let dropped = self.counters.dropped.load(Ordering::SeqCst);
-            if sent == delivered + dropped && (sent, delivered, dropped) == last {
+            let partitioned = self.counters.partitioned.load(Ordering::SeqCst);
+            if sent == delivered + dropped + partitioned
+                && (sent, delivered, dropped, partitioned) == last
+            {
                 return true;
             }
-            last = (sent, delivered, dropped);
+            last = (sent, delivered, dropped, partitioned);
             if std::time::Instant::now() > deadline {
                 return false;
             }
@@ -244,7 +253,13 @@ impl<M: Clone + Send + 'static> ThreadedNet<M> {
         self.counters.dropped.load(Ordering::Relaxed)
     }
 
-    /// Send attempts so far (delivered + dropped at quiescence).
+    /// Messages lost to an open partition window so far.
+    pub fn partitioned(&self) -> u64 {
+        self.counters.partitioned.load(Ordering::Relaxed)
+    }
+
+    /// Send attempts so far (delivered + dropped + partitioned at
+    /// quiescence).
     pub fn sent(&self) -> u64 {
         self.counters.sent.load(Ordering::Relaxed)
     }
@@ -345,6 +360,26 @@ mod tests {
         assert!(net.await_quiescence(std::time::Duration::from_secs(5)));
         assert_eq!(net.delivered(), 0);
         assert_eq!(net.dropped(), 10);
+        net.shutdown();
+    }
+
+    #[test]
+    fn partition_blocks_cross_island_traffic() {
+        // The threaded runtime's logical clock starts at 0, so a window
+        // over [0, u64::MAX) is open for the whole run.
+        let plan = FaultPlan::none().with_partition(vec![vec![0], vec![1]], 0, u64::MAX);
+        let net = ThreadedNet::spawn_with_faults(boxed(2), plan, 1);
+        for _ in 0..10 {
+            net.inject(0, 1, 0); // cross-island: all lost
+        }
+        net.inject(0, 0, 0); // island-internal: delivered
+        assert!(net.await_quiescence(std::time::Duration::from_secs(5)));
+        assert_eq!(net.partitioned(), 10);
+        assert_eq!(net.delivered(), 1);
+        assert_eq!(
+            net.sent(),
+            net.delivered() + net.dropped() + net.partitioned()
+        );
         net.shutdown();
     }
 

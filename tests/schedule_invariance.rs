@@ -263,11 +263,12 @@ fn streaming_engine_equals_batched_run() {
     for (i, q) in qs.iter().enumerate() {
         engine.submit(q);
         if i % 17 == 0 {
-            streamed.extend(engine.drain()); // interleave partial drains
+            // interleave partial drains
+            streamed.extend(engine.drain().expect("no worker panicked"));
         }
     }
     let (snet, rest) = engine.shutdown();
-    streamed.extend(rest);
+    streamed.extend(rest.expect("no worker panicked"));
 
     let mut bnet = net(seed, 2);
     let batched = bnet.query_batch_concurrent_with(&qs, opts);
