@@ -1,0 +1,380 @@
+//! Tail-latency benchmark under gray failures: slow-peer fraction ×
+//! slowdown factor × {baseline, hedged, hedged+breaker}, written to
+//! `BENCH_tail.json` at the repo root.
+//!
+//! Each cell grows a fresh [`ChurnNetwork`] (same seed across modes, so
+//! all three modes route identically and slow the *same* peers), warms
+//! the cache through the resilient path on a healthy fleet, then slows a
+//! stride-spaced fraction of the peers by the cell's factor and re-runs
+//! the trace for several rounds, measuring per-query virtual latency
+//! via [`ChurnNetwork::query_timed`]:
+//!
+//! * `p50` / `p99` — exact quantiles over the measured per-query
+//!   latencies (sorted, not histogram-reconstructed);
+//! * `recall` — mean recall of the re-queries, which must be *identical*
+//!   across modes (tail tolerance must never trade answers for speed:
+//!   substitutes are replica holders of the same buckets);
+//! * `messages` — honest total message cost: routed hops of every
+//!   measured lookup, **plus** every hedge/detour hop the backup paths
+//!   spent (losers included), **plus** every health probe. The overhead
+//!   headline is asserted against this total, so the machinery cannot
+//!   hide its cost.
+//!
+//! The hedge policy used here lowers the delay floor to 500 (the default
+//! floor of 1 000 is conservative enough for *churning* networks where a
+//! DFS route may run long; on the converged rings benchmarked here
+//! routes are ≤ ~10 hops ≈ 200 virtual units, so 500 still never fires
+//! on a healthy fleet). The breaker cooldown is 250 000 virtual units —
+//! thousands of service times, the usual ratio for real circuit
+//! breakers — so a peer that trips stays short-circuited for the whole
+//! measured window instead of being re-probed into the tail every few
+//! queries.
+//!
+//! A final section drives the engine's deadline-aware admission control
+//! through an overload burst and records the shedding ledger, asserted
+//! to balance exactly: `submitted == completed + shed + queued`.
+//!
+//! The seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep seeds;
+//! at a fixed seed the output is byte-identical across reruns (the
+//! headline cell is re-run in-process to prove it).
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_tail`
+
+use ars_core::engine::{EngineOptions, QueryEngine};
+use ars_core::{
+    BreakerConfig, ChurnNetwork, HedgePolicy, MatchMeasure, RangeSelectNetwork, SystemConfig,
+};
+use ars_lsh::RangeSet;
+
+const N_PEERS: usize = 50;
+const N_QUERIES: usize = 60;
+const MEASURE_ROUNDS: usize = 5;
+const SLOW_FRACTIONS: [f64; 2] = [0.1, 0.2];
+const SLOW_FACTORS: [u64; 2] = [4, 10];
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    Baseline,
+    Hedged,
+    HedgedBreaker,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::Hedged => "hedged",
+            Mode::HedgedBreaker => "hedged+breaker",
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct Cell {
+    frac: f64,
+    factor: u64,
+    mode: Mode,
+    p50: u64,
+    p99: u64,
+    mean: f64,
+    recall: f64,
+    messages: u64,
+    hedges_fired: u64,
+    hedges_won: u64,
+    short_circuits: u64,
+    breaker_opens: u64,
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Distinct, well-spread query ranges (no repeats, so the measurement
+/// phase scores only what the warm phase cached).
+fn trace() -> Vec<RangeSet> {
+    (0..N_QUERIES as u32)
+        .map(|i| {
+            let lo = i * 523 % 40_000;
+            RangeSet::interval(lo, lo + 60 + (i % 5) * 25)
+        })
+        .collect()
+}
+
+/// The tuned hedge policy (see module docs for why the floor is 500
+/// here rather than the conservative default of 1 000).
+fn bench_hedge_policy() -> HedgePolicy {
+    HedgePolicy {
+        min_delay: 500,
+        ..HedgePolicy::default()
+    }
+}
+
+/// Breaker config with a production-shaped cooldown: thousands of
+/// service times, so a tripped peer is not re-probed into the tail
+/// mid-measurement.
+fn bench_breaker_config() -> BreakerConfig {
+    BreakerConfig {
+        cooldown: 250_000,
+        ..BreakerConfig::default()
+    }
+}
+
+fn run_cell(frac: f64, factor: u64, mode: Mode, seed: u64) -> Cell {
+    let config = SystemConfig::default()
+        .with_kl(16, 4)
+        .with_matching(MatchMeasure::Containment)
+        .with_replication(2)
+        .with_seed(0x7A11 ^ seed);
+    let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
+    match mode {
+        Mode::Baseline => {}
+        Mode::Hedged => net.enable_hedging(bench_hedge_policy()),
+        Mode::HedgedBreaker => {
+            net.enable_hedging(bench_hedge_policy());
+            net.enable_breakers(bench_breaker_config());
+        }
+    }
+    let queries = trace();
+
+    // Warm: cache every partition (and its replica) on a healthy fleet,
+    // teaching the failure detector its healthy baselines as a side
+    // effect of the reads.
+    for q in &queries {
+        net.query_resilient(q);
+    }
+    if mode == Mode::HedgedBreaker {
+        // Baseline health sweeps (the detector must know "normal" before
+        // it can call anything abnormal).
+        for _ in 0..3 {
+            net.probe_peers();
+        }
+    }
+
+    // Gray failure onset: stride-spaced victims, same ids in every mode.
+    net.slow_fraction(frac, factor);
+    if mode == Mode::HedgedBreaker {
+        // Two sweeps: one to raise suspicion, one to trip the breakers
+        // (failure_threshold = 2). Counted in `messages` like all probes.
+        for _ in 0..2 {
+            net.probe_peers();
+        }
+    }
+
+    // Measure.
+    let mut latencies = Vec::with_capacity(N_QUERIES * MEASURE_ROUNDS);
+    let mut recall_sum = 0.0;
+    let mut hops_sum = 0u64;
+    for _ in 0..MEASURE_ROUNDS {
+        for q in &queries {
+            let (out, lat) = net.query_timed(q);
+            latencies.push(lat);
+            recall_sum += out.recall;
+            hops_sum += out.hops.iter().sum::<usize>() as u64;
+        }
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    let res = net.resilience();
+    Cell {
+        frac,
+        factor,
+        mode,
+        p50: quantile(0.50),
+        p99: quantile(0.99),
+        mean: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
+        recall: recall_sum / latencies.len() as f64,
+        messages: hops_sum + res.hedge_hops + res.probes_sent,
+        hedges_fired: res.hedges_fired,
+        hedges_won: res.hedges_won,
+        short_circuits: res.breaker_short_circuits,
+        breaker_opens: res.breaker_opens,
+    }
+}
+
+/// Overload a deadline-aware engine and return its shedding ledger as
+/// `(submitted, completed, shed)`.
+fn run_shedding(seed: u64) -> (u64, u64, u64) {
+    let net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(0x5EED ^ seed));
+    let mut engine = QueryEngine::launch(
+        net,
+        EngineOptions {
+            shards: 2,
+            workers: 2,
+            queue: 64,
+        },
+    );
+    engine.set_service_cost(100);
+    // Arrivals at 60% of the service interval: the virtual queue grows
+    // without bound, so admission control must shed to keep the served
+    // queries inside their 300-unit deadline.
+    for (i, q) in trace().iter().enumerate() {
+        engine.submit_timed(q, i as u64 * 60, 300);
+    }
+    engine.drain().expect("no worker panicked");
+    let ledger = engine.admission();
+    assert_eq!(ledger.queued, 0, "drained engine has nothing queued");
+    assert_eq!(
+        ledger.submitted,
+        ledger.completed + ledger.shed + ledger.queued,
+        "shedding ledger must balance"
+    );
+    assert!(ledger.shed > 0, "overload burst must shed");
+    assert!(ledger.completed > 0, "admission must still serve the head");
+    engine.shutdown().1.expect("no worker panicked");
+    (ledger.submitted, ledger.completed, ledger.shed)
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "{{\"slow_fraction\": {:.2}, \"factor\": {}, \"mode\": \"{}\", \
+         \"p50\": {}, \"p99\": {}, \"mean\": {:.2}, \"recall\": {:.4}, \
+         \"messages\": {}, \"hedges_fired\": {}, \"hedges_won\": {}, \
+         \"short_circuits\": {}, \"breaker_opens\": {}}}",
+        c.frac,
+        c.factor,
+        c.mode.name(),
+        c.p50,
+        c.p99,
+        c.mean,
+        c.recall,
+        c.messages,
+        c.hedges_fired,
+        c.hedges_won,
+        c.short_circuits,
+        c.breaker_opens
+    )
+}
+
+fn main() {
+    let seed = fault_seed();
+    let modes = [Mode::Baseline, Mode::Hedged, Mode::HedgedBreaker];
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("# seed {seed} ({N_PEERS} peers, {N_QUERIES}x{MEASURE_ROUNDS} queries, k=16 l=4 r=2)");
+    println!(
+        "{:>6} {:>7} {:>15} {:>7} {:>7} {:>9} {:>8} {:>9} {:>7} {:>6} {:>7} {:>6}",
+        "slow",
+        "factor",
+        "mode",
+        "p50",
+        "p99",
+        "mean",
+        "recall",
+        "messages",
+        "hedged",
+        "won",
+        "short",
+        "opens"
+    );
+    for &frac in &SLOW_FRACTIONS {
+        for &factor in &SLOW_FACTORS {
+            for &mode in &modes {
+                let c = run_cell(frac, factor, mode, seed);
+                println!(
+                    "{:>6.2} {:>7} {:>15} {:>7} {:>7} {:>9.1} {:>8.3} {:>9} {:>7} {:>6} {:>7} {:>6}",
+                    c.frac,
+                    c.factor,
+                    c.mode.name(),
+                    c.p50,
+                    c.p99,
+                    c.mean,
+                    c.recall,
+                    c.messages,
+                    c.hedges_fired,
+                    c.hedges_won,
+                    c.short_circuits,
+                    c.breaker_opens
+                );
+                cells.push(c);
+            }
+        }
+    }
+
+    let cell = |frac: f64, factor: u64, mode: Mode| {
+        cells
+            .iter()
+            .find(|c| c.frac == frac && c.factor == factor && c.mode == mode)
+            .expect("cell present")
+    };
+
+    // Headline: 20% of peers slowed 10× — hedging + breakers must cut
+    // p99 at least 2× against the baseline, at no more than 1.3× the
+    // honestly-counted message cost, without moving recall at all.
+    let base = cell(0.2, 10, Mode::Baseline);
+    let hb = cell(0.2, 10, Mode::HedgedBreaker);
+    let p99_cut = base.p99 as f64 / hb.p99 as f64;
+    let msg_ratio = hb.messages as f64 / base.messages as f64;
+    println!(
+        "\nheadline (20% slowed 10x): p99 {} -> {} ({p99_cut:.2}x cut), \
+         messages {} -> {} ({msg_ratio:.3}x)",
+        base.p99, hb.p99, base.messages, hb.messages
+    );
+    assert!(
+        p99_cut >= 2.0,
+        "hedged+breaker p99 {} must be at least half of baseline {}",
+        hb.p99,
+        base.p99
+    );
+    assert!(
+        msg_ratio <= 1.3,
+        "message overhead {msg_ratio:.3}x exceeds the 1.3x budget"
+    );
+    for &frac in &SLOW_FRACTIONS {
+        for &factor in &SLOW_FACTORS {
+            let b = cell(frac, factor, Mode::Baseline);
+            for mode in [Mode::Hedged, Mode::HedgedBreaker] {
+                let c = cell(frac, factor, mode);
+                assert!(
+                    c.recall == b.recall,
+                    "recall moved at frac {frac} factor {factor} {}: {} vs {}",
+                    mode.name(),
+                    c.recall,
+                    b.recall
+                );
+                assert!(
+                    c.p99 <= b.p99,
+                    "{} p99 {} worse than baseline {} at frac {frac} factor {factor}",
+                    mode.name(),
+                    c.p99,
+                    b.p99
+                );
+            }
+        }
+    }
+
+    // Shedding ledger (asserted balanced inside).
+    let (submitted, completed, shed) = run_shedding(seed);
+    println!("shedding: submitted {submitted} = completed {completed} + shed {shed}");
+
+    // Determinism: the headline cell re-run from scratch is bit-identical.
+    let again = run_cell(0.2, 10, Mode::HedgedBreaker, seed);
+    assert_eq!(*hb, again, "headline cell must replay bit-identically");
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"tail_tolerance\",\n  \"seed\": {seed},\n  \
+         \"peers\": {N_PEERS},\n  \"queries\": {},\n  \"cells\": [\n",
+        N_QUERIES * MEASURE_ROUNDS
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!("    {}{sep}\n", cell_json(c)));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\n    \"p99_baseline\": {},\n    \
+         \"p99_hedged_breaker\": {},\n    \"p99_cut\": {p99_cut:.3},\n    \
+         \"message_overhead\": {msg_ratio:.4},\n    \
+         \"recall_unchanged\": true\n  }},\n  \"shedding\": {{\n    \
+         \"submitted\": {submitted},\n    \"completed\": {completed},\n    \
+         \"shed\": {shed}\n  }}\n}}\n",
+        base.p99, hb.p99
+    ));
+
+    let path = ars_bench::experiments::repo_root().join("BENCH_tail.json");
+    std::fs::write(&path, json).expect("write BENCH_tail.json");
+    println!("wrote {}", path.display());
+}

@@ -877,7 +877,7 @@ impl DynamicNetwork {
         let mut backtracks = 0usize;
         let mut hops_used = 0usize;
         let result =
-            self.lookup_resilient_impl(from, key, hop_budget, &mut hops_used, &mut backtracks);
+            self.lookup_resilient_impl(from, key, hop_budget, &[], &mut hops_used, &mut backtracks);
         self.telemetry.counter_add("chord.resilient.lookups", 1);
         self.telemetry
             .counter_add("chord.resilient.hops", hops_used as u64);
@@ -910,11 +910,18 @@ impl DynamicNetwork {
         from: Id,
         key: Id,
         hop_budget: usize,
+        avoid: &[Id],
         hops_used: &mut usize,
         backtracks: &mut usize,
     ) -> Result<(Id, usize), ChordError> {
         self.node(from)?;
         let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        // Avoided peers are pre-visited: the DFS never relays through a
+        // suspect. (The origin itself cannot be avoided — `current` is
+        // inserted on arrival regardless.)
+        for a in avoid {
+            visited.insert(a.0);
+        }
         // DFS stack: (candidates out of a node, index of the next to try).
         let mut stack: Vec<(Vec<Id>, usize)> = Vec::new();
         let mut current = from;
@@ -925,7 +932,37 @@ impl DynamicNetwork {
             if let Ok(state) = self.node(current) {
                 if let Some(succ) = self.live_successor(current, state) {
                     if succ == current || key.in_open_closed(current, succ) {
-                        return Ok((succ, hops + 1));
+                        // Detour semantics: if the owner itself is to be
+                        // avoided, walk its successor list to the first
+                        // acceptable replica holder, paying one hop per
+                        // chain step. With an empty avoid set this returns
+                        // the owner immediately — bit-identical to the
+                        // plain resilient walk.
+                        if let Some((serving, extra)) = self.detour_owner(succ, avoid) {
+                            return Ok((serving, hops + 1 + extra));
+                        }
+                    }
+                }
+            }
+            // Detour-only second terminal: when the owner's *predecessor*
+            // is avoided, no reachable node can see the owner as its live
+            // successor — but the DFS can still arrive at the owner itself
+            // through a successor-list chain. A node standing on a key it
+            // owns (alive predecessor strictly precedes the key) serves it
+            // directly. Guarded on a non-empty avoid set so the plain
+            // resilient walk is bit-identical to earlier revisions.
+            if !avoid.is_empty() {
+                if let Ok(state) = self.node(current) {
+                    if let Some(pred) = state.predecessor {
+                        if pred != current
+                            && self.is_alive(pred)
+                            && self.reachable(current, pred)
+                            && key.in_open_closed(pred, current)
+                        {
+                            if let Some((serving, extra)) = self.detour_owner(current, avoid) {
+                                return Ok((serving, hops + extra));
+                            }
+                        }
                     }
                 }
             }
@@ -953,6 +990,83 @@ impl DynamicNetwork {
                 *backtracks += 1;
             }
         }
+    }
+
+    /// Hedged-lookup routing: like [`Self::lookup_resilient`], but the
+    /// peers in `avoid` are never used — not as relays (the DFS treats
+    /// them as already visited) and not as the serving owner (an avoided
+    /// owner is substituted by its first alive non-avoided successor, one
+    /// hop per successor-chain step, honestly counted). This is how a
+    /// backup lookup detours around the suspected-slow primary: with
+    /// replication `r ≥ 2` the substitute is exactly the next replica
+    /// holder of the key.
+    ///
+    /// With an empty `avoid` set this is bit-identical to
+    /// [`Self::lookup_resilient`] (no route cache is consulted either
+    /// way here — avoid sets would poison shared entries).
+    ///
+    /// Fails with [`ChordError::RoutingFailed`] when every path or every
+    /// substitute owner is avoided or dead within `hop_budget`.
+    pub fn lookup_detour(
+        &self,
+        from: Id,
+        key: Id,
+        hop_budget: usize,
+        avoid: &[Id],
+    ) -> Result<(Id, usize), ChordError> {
+        let mut backtracks = 0usize;
+        let mut hops_used = 0usize;
+        let result = self.lookup_resilient_impl(
+            from,
+            key,
+            hop_budget,
+            avoid,
+            &mut hops_used,
+            &mut backtracks,
+        );
+        self.telemetry.counter_add("chord.detour.lookups", 1);
+        match &result {
+            Ok((_, hops)) => {
+                self.telemetry
+                    .counter_add("chord.detour.hops", *hops as u64);
+                self.telemetry
+                    .record("chord.detour.lookup.hops", *hops as u64);
+            }
+            Err(_) => self.telemetry.counter_add("chord.detour.failures", 1),
+        }
+        result
+    }
+
+    /// Public entry to the successor-list substitution step alone, for
+    /// callers that already routed to `owner` and only need the chain
+    /// walk (e.g. a circuit-breaker short-circuit that re-uses the paid
+    /// route): [`Self::lookup_detour`] re-routes from scratch; this costs
+    /// only the returned chain steps.
+    pub fn successor_substitute(&self, owner: Id, avoid: &[Id]) -> Option<(Id, usize)> {
+        self.detour_owner(owner, avoid)
+    }
+
+    /// The node that actually serves a key owned by `owner` under an
+    /// avoid set: `owner` itself when acceptable (0 extra hops), else the
+    /// first alive, reachable, non-avoided entry of its successor list
+    /// (1 extra hop per chain step walked). `None` when the whole chain
+    /// is avoided or dead.
+    fn detour_owner(&self, owner: Id, avoid: &[Id]) -> Option<(Id, usize)> {
+        if !avoid.contains(&owner) {
+            return Some((owner, 0));
+        }
+        let state = self.node(owner).ok()?;
+        let mut extra = 0usize;
+        for &s in &state.successors {
+            if s == owner || !self.is_alive(s) || !self.reachable(owner, s) {
+                continue;
+            }
+            extra += 1;
+            if !avoid.contains(&s) {
+                return Some((s, extra));
+            }
+        }
+        None
     }
 
     /// Alive next-hop candidates out of `current` toward `key`, best
@@ -1083,6 +1197,73 @@ mod tests {
             let (owner, hops) = net.lookup(from, key).unwrap();
             assert_eq!(owner, net.true_owner(key));
             assert!(hops <= 40);
+        }
+    }
+
+    #[test]
+    fn detour_with_empty_avoid_matches_resilient() {
+        let net = grow_network(30, 21);
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            assert_eq!(
+                net.lookup_detour(from, key, 64, &[]),
+                net.lookup_resilient(from, key, 64),
+                "empty avoid set must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn detour_skips_avoided_owner_to_its_successor() {
+        let net = grow_network(25, 33);
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(9);
+        let mut substituted = 0;
+        for _ in 0..100 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let owner = net.true_owner(key);
+            if owner == from {
+                continue;
+            }
+            let (plain_owner, plain_hops) = net.lookup_resilient(from, key, 64).unwrap();
+            assert_eq!(plain_owner, owner);
+            let (serving, hops) = net.lookup_detour(from, key, 64, &[owner]).unwrap();
+            assert_ne!(serving, owner, "avoided owner must never serve");
+            // The substitute is the next replica holder on the ring.
+            assert_eq!(serving, net.true_successors(key, 2)[1]);
+            assert!(
+                hops >= plain_hops,
+                "the successor-chain step is honestly counted"
+            );
+            substituted += 1;
+        }
+        assert!(substituted > 50, "the scenario must actually exercise");
+    }
+
+    #[test]
+    fn detour_never_relays_through_avoided_peers() {
+        // Avoiding an intermediate (not the owner) still resolves to the
+        // true owner — the DFS routes around the suspect.
+        let net = grow_network(25, 44);
+        let ids = net.node_ids();
+        let mut rng = DetRng::new(17);
+        for _ in 0..100 {
+            let from = ids[rng.gen_index(ids.len())];
+            let key = Id(rng.next_u32());
+            let owner = net.true_owner(key);
+            // Pick a suspect that is neither endpoint.
+            let suspect = ids[rng.gen_index(ids.len())];
+            if suspect == from || suspect == owner {
+                continue;
+            }
+            let (serving, _) = net
+                .lookup_detour(from, key, 128, &[suspect])
+                .expect("one avoided relay cannot partition a healthy ring");
+            assert_eq!(serving, owner, "avoiding a relay must not change the owner");
         }
     }
 

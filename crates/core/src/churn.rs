@@ -48,7 +48,10 @@ use crate::config::{Placement, SystemConfig};
 use crate::durable::{decode_range, digest_bytes, encode_range};
 use crate::network::{QueryOutcome, RangeSelectNetwork};
 use crate::peer::Peer;
-use crate::resilient::{ResilienceStats, RetryPolicy};
+use crate::resilient::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, FailureDetector, HedgePolicy,
+    ResilienceStats, RetryPolicy, BASE_SERVICE, HOP_COST,
+};
 use ars_chord::dynamic::ChordError;
 use ars_chord::{DynamicNetwork, Id};
 use ars_common::{DetRng, FxHashMap};
@@ -91,6 +94,27 @@ pub struct ChurnNetwork {
     /// (request or reply dropped), exercising the retry path. 0 = clean.
     lookup_loss: f64,
     telemetry: Telemetry,
+    /// Gray-slow peers: id → service-time multiplier (≥ 2). A slowed peer
+    /// still answers correctly; it just takes `factor × BASE_SERVICE`
+    /// virtual time to serve a fetch.
+    slow: std::collections::BTreeMap<u32, u64>,
+    /// Virtual clock, advanced by query latencies, probe sweeps, and
+    /// backoff waits. Purely observational for the legacy paths; breaker
+    /// cooldowns and hedge timing read it.
+    clock: u64,
+    /// Per-peer latency estimator feeding suspicion scores.
+    detector: FailureDetector,
+    /// Per-peer circuit breakers (populated lazily; only meaningful when
+    /// `breaker_cfg` is set).
+    breakers: std::collections::BTreeMap<u32, CircuitBreaker>,
+    /// Breaker configuration; `None` (default) disables breakers.
+    breaker_cfg: Option<BreakerConfig>,
+    /// Hedged-lookup policy; `None` (default) disables hedging.
+    hedge: Option<HedgePolicy>,
+    /// Observed per-identifier fetch latencies — the distribution hedge
+    /// delays adapt to (the same histogram shape the telemetry registry
+    /// uses, so bench reports and hedge timing read identical quantiles).
+    latency_hist: ars_telemetry::Hist,
 }
 
 impl ChurnNetwork {
@@ -162,6 +186,13 @@ impl ChurnNetwork {
             resilience: ResilienceStats::default(),
             lookup_loss: 0.0,
             telemetry: Telemetry::noop(),
+            slow: std::collections::BTreeMap::new(),
+            clock: 0,
+            detector: FailureDetector::new(),
+            breakers: std::collections::BTreeMap::new(),
+            breaker_cfg: None,
+            hedge: None,
+            latency_hist: ars_telemetry::Hist::default(),
         })
     }
 
@@ -206,6 +237,263 @@ impl ChurnNetwork {
     /// Resilience counters (retries, fallbacks, re-replication work).
     pub fn resilience(&self) -> &ResilienceStats {
         &self.resilience
+    }
+
+    /// Mark `peer` gray-slow: it keeps answering correctly but every fetch
+    /// it serves costs `factor × BASE_SERVICE` virtual time. This is the
+    /// live-network rendition of [`ars_simnet::SlowWindow`] — a fault no
+    /// crash/retry path notices, only the tail latency does.
+    ///
+    /// # Panics
+    /// Panics unless `factor ≥ 2` (1 would be an invisible no-op).
+    pub fn set_slow(&mut self, peer: Id, factor: u64) {
+        assert!(factor >= 2, "slow factor must be at least 2");
+        self.slow.insert(peer.0, factor);
+    }
+
+    /// Restore `peer` to healthy service time.
+    pub fn clear_slow(&mut self, peer: Id) {
+        self.slow.remove(&peer.0);
+    }
+
+    /// Deterministically slow `⌊fraction · n⌋` alive peers by `factor`,
+    /// chosen stride-spaced through the sorted id order (every
+    /// `⌈n/count⌉`-th peer). Stride spacing models independent gray
+    /// failures scattered across the fleet: consecutive ring positions
+    /// are never both slowed, so a key's replica chain always contains a
+    /// healthy substitute. (A *contiguous* slow arc is a correlated
+    /// failure-domain scenario — a different experiment.) Crucially for
+    /// twin-run experiments, the *same* peers are slowed at every call
+    /// with the same membership (no RNG consumed). Returns the victims.
+    pub fn slow_fraction(&mut self, fraction: f64, factor: u64) -> Vec<Id> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let mut ids = self.chord.node_ids();
+        ids.sort_unstable();
+        let count = (ids.len() as f64 * fraction).floor() as usize;
+        if count == 0 {
+            return Vec::new();
+        }
+        let stride = ids.len().div_ceil(count);
+        let victims: Vec<Id> = ids.into_iter().step_by(stride).take(count).collect();
+        for &v in &victims {
+            self.set_slow(v, factor);
+        }
+        victims
+    }
+
+    /// Virtual service time of one fetch served by `peer`:
+    /// `BASE_SERVICE`, multiplied by the peer's slow factor if gray-slow.
+    pub fn service_time(&self, peer: Id) -> u64 {
+        BASE_SERVICE * self.slow.get(&peer.0).copied().unwrap_or(1)
+    }
+
+    /// The virtual clock (advanced by queries, probes, and backoffs).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Enable hedged lookups: when a primary fetch would take longer than
+    /// the adaptive delay derived from `policy` and the observed latency
+    /// distribution, a backup lookup detours to the next replica holder
+    /// and the first response wins. Requires replication ≥ 2 to have any
+    /// effect (the backup must actually hold the data).
+    pub fn enable_hedging(&mut self, policy: HedgePolicy) {
+        self.hedge = Some(policy);
+    }
+
+    /// Enable per-peer circuit breakers: consecutive suspicious responses
+    /// trip a peer open, fetches short-circuit straight to a replica while
+    /// it cools down, and one half-open probe closes or re-trips it.
+    pub fn enable_breakers(&mut self, config: BreakerConfig) {
+        self.breaker_cfg = Some(config);
+    }
+
+    /// The per-peer failure detector (latency estimates, suspicion).
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Breaker state of `peer` at the current virtual clock, if breakers
+    /// are enabled and the peer has been observed.
+    pub fn breaker_state(&self, peer: Id) -> Option<BreakerState> {
+        self.breakers.get(&peer.0).map(|b| b.state(self.clock))
+    }
+
+    /// The observed per-fetch latency histogram (what hedge delays and
+    /// the tail bench read their quantiles from).
+    pub fn observed_latency(&self) -> &ars_telemetry::Hist {
+        &self.latency_hist
+    }
+
+    /// One health-probe sweep: contact every alive peer (sorted order,
+    /// deterministic), feed its service time into the failure detector,
+    /// and — when breakers are enabled — record the outcome against its
+    /// breaker. Probes are honest traffic: each sweep counts `n` messages
+    /// in [`ResilienceStats::probes_sent`] and advances the virtual clock
+    /// by one `BASE_SERVICE` round (probes fan out in parallel). Returns
+    /// the number of peers probed.
+    ///
+    /// Run a few sweeps while the fleet is healthy to teach the detector
+    /// each peer's baseline; a peer that is slow from the very first
+    /// observation becomes its own baseline (phi-accrual semantics) and
+    /// only *degradation* relative to it is suspected.
+    pub fn probe_peers(&mut self) -> usize {
+        let mut ids = self.chord.node_ids();
+        ids.sort_unstable();
+        let now = self.clock;
+        for &id in &ids {
+            let svc = self.service_time(id);
+            self.resilience.probes_sent += 1;
+            self.telemetry.counter_add("resilient.probes", 1);
+            self.note_response(id.0, svc, now);
+        }
+        self.clock += BASE_SERVICE;
+        ids.len()
+    }
+
+    /// Judge one observed response (service time `svc` from `peer` at
+    /// virtual time `now`) against the peer's learned baseline, drive its
+    /// breaker, and absorb the sample into the detector. Estimates are
+    /// *frozen* while a breaker is non-closed: samples from a degraded
+    /// period must not drift the healthy baseline upward, or the
+    /// half-open probe would compare the still-slow peer against its own
+    /// degradation and wrongly re-close the breaker.
+    fn note_response(&mut self, peer: u32, svc: u64, now: u64) {
+        let suspicion = self.detector.suspicion(peer, svc);
+        let Some(cfg) = self.breaker_cfg else {
+            self.detector.observe(peer, svc);
+            return;
+        };
+        let ok = suspicion < cfg.suspicion_threshold;
+        let breaker = self
+            .breakers
+            .entry(peer)
+            .or_insert_with(|| CircuitBreaker::new(cfg));
+        if breaker.state(now) != BreakerState::Open
+            && breaker.record(ok, now) == BreakerTransition::Opened
+        {
+            self.resilience.breaker_opens += 1;
+            self.telemetry.counter_add("resilient.breaker_opens", 1);
+        }
+        if self
+            .breakers
+            .get(&peer)
+            .is_none_or(|b| b.state(now) == BreakerState::Closed)
+        {
+            self.detector.observe(peer, svc);
+        }
+    }
+
+    /// The avoid set for backup routing at `now`: the primary plus every
+    /// peer whose breaker is currently open (sorted — `BTreeMap` order —
+    /// so the set is deterministic).
+    fn avoided_peers(&self, now: u64, primary: Id) -> Vec<Id> {
+        let mut avoid = vec![primary];
+        for (&id, b) in &self.breakers {
+            if id != primary.0 && b.state(now) == BreakerState::Open {
+                avoid.push(Id(id));
+            }
+        }
+        avoid
+    }
+
+    /// The gray-failure service layer for one identifier fetch, applied
+    /// after routing resolved `owner` in `h` hops. Returns `(serving
+    /// peer, effective latency, primary latency)`:
+    ///
+    /// 1. **Breaker short-circuit** — if the primary's breaker is open,
+    ///    the fetch goes straight to the successor-list substitute along
+    ///    the already-routed chain (one hop per chain step), never
+    ///    touching the slow peer.
+    /// 2. **Hedge** — otherwise, if the primary would take longer than
+    ///    the adaptive hedge delay, a backup lookup detours around the
+    ///    primary ([`DynamicNetwork::lookup_detour`], a full independent
+    ///    route, honestly costed in [`ResilienceStats::hedge_hops`]) and
+    ///    the first response wins:
+    ///    `min(primary, delay + backup_route + backup_service)`.
+    /// 3. Every contacted peer's service time feeds the failure detector
+    ///    and its breaker ([`Self::note_response`]).
+    ///
+    /// Both mechanisms require replication ≥ 2 (the substitute must hold
+    /// the data) and consume **no randomness** — with no gray-slow peers
+    /// the fetch is served by `owner` at model latency and this layer is
+    /// a pure observer (the tail-tolerance proptests pin this).
+    fn gray_fetch(&mut self, origin: Id, key: Id, owner: Id, h: usize) -> (Id, u64, u64) {
+        let now = self.clock;
+        let primary_svc = self.service_time(owner);
+        let primary_lat = h as u64 * HOP_COST + primary_svc;
+        let backup_viable = self.config.replication >= 2;
+
+        // 1. Short-circuit an open-breaker primary.
+        if backup_viable && self.breaker_cfg.is_some() {
+            let open = self
+                .breakers
+                .get(&owner.0)
+                .is_some_and(|b| b.state(now) == BreakerState::Open);
+            if open {
+                let avoid = self.avoided_peers(now, owner);
+                if let Some((sub, chain)) = self.chord.successor_substitute(owner, &avoid) {
+                    let svc = self.service_time(sub);
+                    let lat = (h + chain) as u64 * HOP_COST + svc;
+                    self.resilience.breaker_short_circuits += 1;
+                    self.resilience.hedge_hops += chain as u64;
+                    self.telemetry.counter_add("resilient.short_circuits", 1);
+                    self.note_response(sub.0, svc, now);
+                    self.latency_hist.record(lat);
+                    self.telemetry.record("resilient.lookup.latency", lat);
+                    return (sub, lat, primary_lat);
+                }
+            }
+        }
+
+        // 2. The primary is contacted (closed breaker, or the half-open
+        //    probe). Hedge if it looks slow against the observed tail.
+        let mut serving = owner;
+        let mut lat = primary_lat;
+        if backup_viable {
+            if let Some(policy) = self.hedge {
+                let delay = policy.delay(&self.latency_hist);
+                if primary_lat > delay {
+                    let avoid = self.avoided_peers(now, owner);
+                    let budget = self.retry.hop_budget.max(8);
+                    if let Ok((backup, bh)) = self.chord.lookup_detour(origin, key, budget, &avoid)
+                    {
+                        if backup != owner {
+                            self.resilience.hedges_fired += 1;
+                            self.resilience.hedge_hops += bh as u64;
+                            self.telemetry.counter_add("resilient.hedges_fired", 1);
+                            let bsvc = self.service_time(backup);
+                            let alt_lat = delay + bh as u64 * HOP_COST + bsvc;
+                            self.note_response(backup.0, bsvc, now);
+                            if alt_lat < primary_lat {
+                                self.resilience.hedges_won += 1;
+                                self.telemetry.counter_add("resilient.hedges_won", 1);
+                                serving = backup;
+                                lat = alt_lat;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The primary's response arrives (possibly after the backup won);
+        // judge it either way — that is how slowness is detected.
+        self.note_response(owner.0, primary_svc, now);
+        self.latency_hist.record(lat);
+        self.telemetry.record("resilient.lookup.latency", lat);
+        (serving, lat, primary_lat)
+    }
+
+    /// Best match for `ident` held by `peer`, honoring the configured
+    /// read path (bucket-local or local-index scan).
+    fn read_candidate(&self, peer: Id, ident: u32, hashed_range: &RangeSet) -> Option<Match> {
+        self.storage.get(&peer.0).and_then(|p| {
+            if self.config.use_local_index {
+                p.best_across_buckets(hashed_range, self.config.matching)
+            } else {
+                p.best_in_bucket(ident, hashed_range, self.config.matching)
+            }
+        })
     }
 
     /// Number of alive peers.
@@ -950,6 +1238,7 @@ impl ChurnNetwork {
         let partitioned = self.chord.is_partitioned();
         let mut partition_degraded = false;
         let mut wall = 0u64;
+        let mut query_lat = 0u64;
         let mut hops = Vec::with_capacity(identifiers.len());
         let mut owners: Vec<Id> = Vec::new();
         let mut reached: Vec<u32> = Vec::new();
@@ -969,13 +1258,25 @@ impl ChurnNetwork {
                         // split — its bucket may hold answers we can't see.
                         partition_degraded = true;
                     }
-                    let mut candidate = self.storage.get(&owner.0).and_then(|peer| {
-                        if self.config.use_local_index {
-                            peer.best_across_buckets(&hashed_range, self.config.matching)
-                        } else {
-                            peer.best_in_bucket(ident, &hashed_range, self.config.matching)
+                    // Gray-failure service layer: pick the peer that
+                    // actually serves the fetch (short-circuiting or
+                    // hedging around slow primaries) and the virtual
+                    // latency paid for it.
+                    let (serving, lat, primary_lat) = self.gray_fetch(origin, key, owner, h);
+                    if serving != owner {
+                        owners.push(serving);
+                    }
+                    query_lat += lat;
+                    let mut candidate = self.read_candidate(serving, ident, &hashed_range);
+                    if candidate.is_none() && serving != owner {
+                        // Replica-divergence safety net: the substitute's
+                        // bucket was empty, so wait for the primary after
+                        // all — recall must never pay for tail tolerance.
+                        candidate = self.read_candidate(owner, ident, &hashed_range);
+                        if candidate.is_some() {
+                            query_lat = query_lat - lat + primary_lat.max(lat);
                         }
-                    });
+                    }
                     if candidate.is_none() && partitioned {
                         // Degraded read path: the routed owner came up
                         // empty, so consult the rest of the island-local
@@ -987,13 +1288,7 @@ impl ChurnNetwork {
                             if replica == owner {
                                 continue;
                             }
-                            let held = self.storage.get(&replica.0).and_then(|peer| {
-                                if self.config.use_local_index {
-                                    peer.best_across_buckets(&hashed_range, self.config.matching)
-                                } else {
-                                    peer.best_in_bucket(ident, &hashed_range, self.config.matching)
-                                }
-                            });
+                            let held = self.read_candidate(replica, ident, &hashed_range);
                             if held.is_some() {
                                 owners.push(replica);
                                 candidate = held;
@@ -1019,6 +1314,14 @@ impl ChurnNetwork {
                 }
             }
         }
+
+        // Advance the virtual clock by what this query cost: fetch
+        // latencies plus retry backoff wall time. Breaker cooldowns are
+        // measured on this clock.
+        let query_latency = query_lat + wall;
+        self.telemetry
+            .record("resilient.query.latency", query_latency);
+        self.clock += query_latency;
 
         let fell_back_to_source = reached.is_empty();
         if fell_back_to_source {
@@ -1089,6 +1392,15 @@ impl ChurnNetwork {
             fell_back_to_source,
             partition_degraded,
         }
+    }
+
+    /// [`Self::query_resilient`] plus the virtual latency the query cost
+    /// (fetch service times, hop costs, hedge delays, retry backoff) —
+    /// the measurement entry point for the tail-latency experiments.
+    pub fn query_timed(&mut self, q: &RangeSet) -> (QueryOutcome, u64) {
+        let start = self.clock;
+        let outcome = self.query_resilient(q);
+        (outcome, self.clock - start)
     }
 
     /// Execute one query through the live routing state. Fails only if

@@ -70,13 +70,15 @@ use crate::network::{
     RangeSelectNetwork, StatsSink,
 };
 use crate::peer::Peer;
+use crate::resilient::BASE_SERVICE;
 use ars_chord::{Id, Ring};
 use ars_common::{DetRng, FxHashMap, FxHasher};
 use ars_lsh::{HashGroups, RangeSet};
 use ars_telemetry::Telemetry;
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Tuning knobs for one engine run, normally taken from
@@ -226,6 +228,70 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// Why a non-blocking submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The in-flight bound ([`EngineOptions::queue`]) is reached.
+    /// [`QueryEngine::submit`] would have blocked; [`QueryEngine::try_submit`]
+    /// refuses instead so the caller can shed load upstream.
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "engine queue full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What [`QueryEngine::submit_timed`] decided about a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted: the query will be served and appear in drain output.
+    Accepted(u64),
+    /// Doomed: the virtual queue could not start the query within its
+    /// deadline, so the scheduler drops it at dequeue — it occupies no
+    /// server time, produces no outcome, and is counted in
+    /// [`AdmissionStats::shed`] (never silently).
+    Shed(u64),
+}
+
+impl Admission {
+    /// The sequence number assigned either way.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            Admission::Accepted(seq) | Admission::Shed(seq) => seq,
+        }
+    }
+
+    /// True when the query was shed.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Admission::Shed(_))
+    }
+}
+
+/// The admission-control ledger of one engine run. On a healthy run
+/// (no worker panics) the books balance:
+/// `submitted == completed + shed + queued`, with `rejected` counted
+/// separately (a rejected query never entered the pipeline and holds no
+/// sequence number).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries that entered the pipeline (sequence numbers assigned).
+    pub submitted: u64,
+    /// [`QueryEngine::try_submit`] refusals — never entered the pipeline.
+    pub rejected: u64,
+    /// Deadline-doomed queries dropped by the scheduler at dequeue.
+    pub shed: u64,
+    /// Queries that committed and produced an outcome.
+    pub completed: u64,
+    /// Queries still in flight.
+    pub queued: u64,
+}
 
 /// Render a caught panic payload for [`EngineError::WorkerPanicked`].
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -532,6 +598,10 @@ enum Job {
     Prepare(u64, RangeSet, Id),
     /// Apply the scheduled commit of query `seq`.
     Commit(u64),
+    /// Query `seq` was admission-doomed: drop it here, at dequeue —
+    /// counted, tombstoned through the scheduler so successors advance,
+    /// never prepared or committed.
+    Shed(u64),
     /// Worker shutdown (one per worker).
     Stop,
 }
@@ -550,6 +620,12 @@ struct Shared {
     /// First worker panic, latched until shutdown. Once set, the engine
     /// is poisoned: `drain`/`shutdown` report it instead of outcomes.
     failure: Mutex<Option<EngineError>>,
+    /// Sequence numbers shed at dequeue (drain skips them).
+    shed_set: Mutex<HashSet<u64>>,
+    /// Cumulative shed count (survives drains).
+    shed_count: AtomicU64,
+    /// Cumulative committed-outcome count (survives drains).
+    completed: AtomicU64,
 }
 
 impl Shared {
@@ -674,9 +750,21 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
                 match result {
                     Ok(outcome) => {
                         shared.results.lock().insert(seq, outcome);
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(payload) => shared.record_failure(seq, "commit", payload),
                 }
+                shared.finish_one();
+            }
+            Ok(Job::Shed(seq)) => {
+                // The shed is *executed* here, at dequeue — the slot it
+                // held applied real backpressure until now — and counted
+                // in three places (telemetry, the cumulative counter, the
+                // drain skip-set), never silently.
+                shared.core.telemetry.counter_add("engine.shed", 1);
+                shared.shed_count.fetch_add(1, Ordering::Relaxed);
+                shared.shed_set.lock().insert(seq);
+                shared.enroll(seq, None);
                 shared.finish_one();
             }
         }
@@ -717,6 +805,15 @@ pub struct QueryEngine {
     next_seq: u64,
     drained_upto: u64,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// [`Self::try_submit`] refusals.
+    rejected: u64,
+    /// Virtual instant the single-server queue model frees up — admission
+    /// state for [`Self::submit_timed`].
+    vclock_finish: u64,
+    /// Last arrival passed to [`Self::submit_timed`] (must not decrease).
+    last_arrival: u64,
+    /// Virtual service cost per admitted query in the admission model.
+    service_cost: u64,
 }
 
 impl QueryEngine {
@@ -740,6 +837,9 @@ impl QueryEngine {
             flow_cv: Condvar::new(),
             queue_cap: opts.queue,
             failure: Mutex::new(None),
+            shed_set: Mutex::new(HashSet::new()),
+            shed_count: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
         });
         let workers = (0..nworkers)
             .map(|_| {
@@ -755,6 +855,10 @@ impl QueryEngine {
             next_seq: 0,
             drained_upto: 0,
             workers,
+            rejected: 0,
+            vclock_finish: 0,
+            last_arrival: 0,
+            service_cost: BASE_SERVICE,
         }
     }
 
@@ -792,6 +896,129 @@ impl QueryEngine {
         seq
     }
 
+    /// Non-blocking [`Self::submit`]: refuses with
+    /// [`SubmitError::QueueFull`] when the in-flight bound is reached,
+    /// so an overloaded engine pushes back instead of queueing unbounded
+    /// wait time. A refused query consumes no sequence number and no
+    /// randomness — admitting the same queries later reproduces the same
+    /// outcomes.
+    ///
+    /// # Panics
+    /// Panics if `q` is empty.
+    pub fn try_submit(&mut self, q: &RangeSet) -> Result<u64, SubmitError> {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        {
+            let mut inflight = self.shared.flow.lock().unwrap_or_else(|e| e.into_inner());
+            if *inflight >= self.shared.queue_cap {
+                drop(inflight);
+                self.rejected += 1;
+                self.shared.core.telemetry.counter_add("engine.rejected", 1);
+                return Err(SubmitError::QueueFull);
+            }
+            *inflight += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let home = (seq % self.streams.len() as u64) as usize;
+        let origin = {
+            let node_ids = self.shared.core.ring.node_ids();
+            node_ids[self.streams[home].gen_index(node_ids.len())]
+        };
+        self.shared
+            .tx
+            .send(Job::Prepare(seq, q.clone(), origin))
+            .expect("engine workers alive");
+        Ok(seq)
+    }
+
+    /// Deadline-aware submission: the query arrives at virtual time
+    /// `arrival` and is worthless once its start would exceed
+    /// `arrival + deadline`.
+    ///
+    /// Admission is judged against a deterministic single-server queue
+    /// model: each admitted query occupies the virtual server for
+    /// [`Self::set_service_cost`] units, so a query starts at
+    /// `max(server-free instant, arrival)`. A query that cannot start in
+    /// time is *doomed at admission* (deterministically — no thread
+    /// schedule involved) and *shed at dequeue* by the scheduler: it
+    /// holds an in-flight slot until a worker drops it (so doomed load
+    /// still applies backpressure), then vanishes from drain output,
+    /// counted in [`AdmissionStats::shed`] and the `engine.shed`
+    /// telemetry counter. Shed queries consume no randomness: the
+    /// admitted subsequence reproduces bit-identically.
+    ///
+    /// Blocks for an in-flight slot like [`Self::submit`].
+    ///
+    /// # Panics
+    /// Panics if `q` is empty or `arrival` decreases between calls.
+    pub fn submit_timed(&mut self, q: &RangeSet, arrival: u64, deadline: u64) -> Admission {
+        assert!(!q.is_empty(), "cannot query an empty range");
+        assert!(
+            arrival >= self.last_arrival,
+            "arrivals must be non-decreasing"
+        );
+        self.last_arrival = arrival;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let start = self.vclock_finish.max(arrival);
+        let shed = start > arrival.saturating_add(deadline);
+        if !shed {
+            // Only served work occupies the virtual server; shedding is
+            // what keeps the queue from collapsing under a burst.
+            self.vclock_finish = start + self.service_cost;
+        }
+        {
+            let mut inflight = self.shared.flow.lock().unwrap_or_else(|e| e.into_inner());
+            while *inflight >= self.shared.queue_cap {
+                inflight = self
+                    .shared
+                    .flow_cv
+                    .wait(inflight)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            *inflight += 1;
+        }
+        if shed {
+            self.shared
+                .tx
+                .send(Job::Shed(seq))
+                .expect("engine workers alive");
+            return Admission::Shed(seq);
+        }
+        let home = (seq % self.streams.len() as u64) as usize;
+        let origin = {
+            let node_ids = self.shared.core.ring.node_ids();
+            node_ids[self.streams[home].gen_index(node_ids.len())]
+        };
+        self.shared
+            .tx
+            .send(Job::Prepare(seq, q.clone(), origin))
+            .expect("engine workers alive");
+        Admission::Accepted(seq)
+    }
+
+    /// Set the virtual service cost per query in the admission model
+    /// (default [`BASE_SERVICE`]).
+    ///
+    /// # Panics
+    /// Panics if `cost` is zero.
+    pub fn set_service_cost(&mut self, cost: u64) {
+        assert!(cost > 0, "service cost must be positive");
+        self.service_cost = cost;
+    }
+
+    /// The admission-control ledger so far. On a healthy run,
+    /// `submitted == completed + shed + queued`.
+    pub fn admission(&self) -> AdmissionStats {
+        AdmissionStats {
+            submitted: self.next_seq,
+            rejected: self.rejected,
+            shed: self.shared.shed_count.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            queued: self.in_flight() as u64,
+        }
+    }
+
     /// Queries submitted but not yet committed.
     pub fn in_flight(&self) -> usize {
         *self.shared.flow.lock().unwrap_or_else(|e| e.into_inner())
@@ -804,9 +1031,9 @@ impl QueryEngine {
         *self.shared.core.poison.lock() = Some((q, stage));
     }
 
-    /// Wait until every submitted query has committed (or tombstoned),
-    /// then return their outcomes in submission order (only those not
-    /// already drained).
+    /// Wait until every submitted query has committed (or tombstoned, or
+    /// been shed), then return their outcomes in submission order (only
+    /// those not already drained; shed queries produce no outcome).
     ///
     /// The wait always terminates: a worker panic is caught at the job
     /// boundary, frees its in-flight slot, and latches an
@@ -825,17 +1052,26 @@ impl QueryEngine {
             }
         }
         let mut results = self.shared.results.lock();
+        let mut shed = self.shared.shed_set.lock();
         if let Some(err) = self.shared.failure.lock().clone() {
             // Drop whatever partial results this window produced; the
             // batch is not trustworthy once a commit unwound mid-flight.
             for seq in self.drained_upto..self.next_seq {
                 results.remove(&seq);
+                shed.remove(&seq);
             }
             self.drained_upto = self.next_seq;
             return Err(err);
         }
         let outcomes = (self.drained_upto..self.next_seq)
-            .map(|seq| results.remove(&seq).expect("committed query has a result"))
+            .filter_map(|seq| {
+                if shed.remove(&seq) {
+                    // Shed at dequeue: no outcome, by design — already
+                    // counted in `AdmissionStats::shed`.
+                    return None;
+                }
+                Some(results.remove(&seq).expect("committed query has a result"))
+            })
             .collect();
         self.drained_upto = self.next_seq;
         Ok(outcomes)
@@ -1288,6 +1524,147 @@ mod tests {
             EngineError::WorkerPanicked { stage, .. } => assert_eq!(stage, "commit"),
         }
         assert_eq!(engine.in_flight(), 0, "every slot freed despite panics");
+    }
+
+    #[test]
+    fn try_submit_rejects_at_capacity_without_consuming_anything() {
+        let config = SystemConfig::default().with_seed(41);
+        let net = RangeSelectNetwork::new(30, config.clone());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 4,
+            },
+        );
+        // Force the full condition deterministically (workers drain real
+        // submissions too fast to observe it reliably): pin the in-flight
+        // gauge at capacity, which is exactly what try_submit consults.
+        *engine.shared.flow.lock().unwrap() = 4;
+        assert_eq!(engine.try_submit(&r(10, 60)), Err(SubmitError::QueueFull));
+        assert_eq!(engine.try_submit(&r(10, 60)), Err(SubmitError::QueueFull));
+        *engine.shared.flow.lock().unwrap() = 0;
+        assert_eq!(engine.admission().rejected, 2);
+        assert_eq!(engine.admission().submitted, 0, "no seq consumed");
+        // A refusal consumed no RNG: the engine replays a twin that never
+        // saw the refusals.
+        let seq = engine.try_submit(&r(10, 60)).expect("capacity free again");
+        assert_eq!(seq, 0);
+        let (_, outcomes) = engine.shutdown();
+        let outcomes = outcomes.expect("no worker panicked");
+
+        let mut twin = RangeSelectNetwork::new(30, config);
+        let expected = twin.query_batch_sharded(&[r(10, 60)], 2);
+        assert_eq!(outcomes, expected);
+    }
+
+    #[test]
+    fn submit_timed_sheds_doomed_queries_and_balances_ledger() {
+        let config = SystemConfig::default().with_seed(47);
+        let net = RangeSelectNetwork::new(30, config.clone());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 64,
+            },
+        );
+        engine.set_service_cost(100);
+        let qs = trace();
+        // Everything arrives at t=0 with a 250-unit deadline: the virtual
+        // server fits exactly three 100-unit services before any further
+        // query would start later than its deadline allows.
+        let admitted: Vec<bool> = qs
+            .iter()
+            .map(|q| !engine.submit_timed(q, 0, 250).is_shed())
+            .collect();
+        assert_eq!(admitted.iter().filter(|&&a| a).count(), 3);
+        assert!(admitted[..3].iter().all(|&a| a), "FIFO admits the head");
+        let outcomes = engine.drain().expect("no worker panicked");
+        assert_eq!(outcomes.len(), 3, "shed queries produce no outcome");
+        let ledger = engine.admission();
+        assert_eq!(ledger.submitted, qs.len() as u64);
+        assert_eq!(ledger.shed, qs.len() as u64 - 3);
+        assert_eq!(ledger.completed, 3);
+        assert_eq!(ledger.queued, 0);
+        assert_eq!(
+            ledger.submitted,
+            ledger.completed + ledger.shed + ledger.queued,
+            "admission ledger must balance"
+        );
+        let (net, rest) = engine.shutdown();
+        rest.expect("no worker panicked");
+        assert_eq!(net.stats().queries, 3, "shed work never touched a shard");
+
+        // Shed queries consume no randomness: a twin that only ever saw
+        // the admitted prefix produces bit-identical outcomes.
+        let mut twin = RangeSelectNetwork::new(30, config);
+        let expected = twin.query_batch_sharded(&qs[..3], 2);
+        assert_eq!(outcomes, expected);
+    }
+
+    #[test]
+    fn submit_timed_with_slack_admits_everything() {
+        let net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(53));
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 64,
+            },
+        );
+        engine.set_service_cost(100);
+        let qs = trace();
+        for (i, q) in qs.iter().enumerate() {
+            // Arrivals keep pace with the service rate: nothing is doomed.
+            let adm = engine.submit_timed(q, i as u64 * 100, 250);
+            assert!(!adm.is_shed(), "query {i} wrongly shed");
+        }
+        let outcomes = engine.drain().expect("no worker panicked");
+        assert_eq!(outcomes.len(), qs.len());
+        assert_eq!(engine.admission().shed, 0);
+    }
+
+    #[test]
+    fn shed_telemetry_counts_match_ledger() {
+        let mut net = RangeSelectNetwork::new(20, SystemConfig::default().with_seed(59));
+        let tel = ars_telemetry::Telemetry::recording();
+        net.set_telemetry(tel.clone());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 2,
+                workers: 2,
+                queue: 32,
+            },
+        );
+        for q in trace() {
+            engine.submit_timed(&q, 0, 150);
+        }
+        engine.drain().expect("no worker panicked");
+        let ledger = engine.admission();
+        assert!(ledger.shed > 0, "overload scenario must shed");
+        assert_eq!(tel.snapshot().counter("engine.shed"), ledger.shed);
+        engine.shutdown().1.expect("no worker panicked");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals must be non-decreasing")]
+    fn submit_timed_rejects_time_travel() {
+        let net = RangeSelectNetwork::new(10, SystemConfig::default());
+        let mut engine = QueryEngine::launch(
+            net,
+            EngineOptions {
+                shards: 1,
+                workers: 1,
+                queue: 8,
+            },
+        );
+        engine.submit_timed(&r(1, 30), 100, 500);
+        engine.submit_timed(&r(1, 30), 99, 500);
     }
 
     #[test]

@@ -52,11 +52,14 @@ pub use churn::{ChurnNetwork, InventoryEntry, RepairRound};
 pub use config::{MatchMeasure, SystemConfig};
 pub use data::DataNetwork;
 pub use durable::DurabilityConfig;
-pub use engine::{EngineError, EngineOptions, QueryEngine};
+pub use engine::{Admission, AdmissionStats, EngineError, EngineOptions, QueryEngine, SubmitError};
 pub use exact::ExactMatchNetwork;
 pub use multiattr::{MultiAttrNetwork, MultiRange};
 pub use network::{BatchTimings, NetworkStats, QueryOutcome, RangeSelectNetwork};
 pub use peer::Peer;
 pub use proto::{ProtoNetwork, ThreadedProtoNetwork};
 pub use recall::{recall_curve, similarity_histogram, RECALL_THRESHOLDS};
-pub use resilient::{ResilienceStats, RetryPolicy};
+pub use resilient::{
+    BreakerConfig, BreakerState, CircuitBreaker, FailureDetector, HedgePolicy, ResilienceStats,
+    RetryPolicy,
+};

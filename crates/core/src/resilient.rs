@@ -21,6 +21,14 @@
 //!   abrupt crashes leave every bucket findable.
 
 use ars_common::DetRng;
+use std::collections::BTreeMap;
+
+/// Virtual service time of a healthy peer answering one fetch, in the same
+/// time units as [`RetryPolicy`] backoffs. Gray-slow peers multiply this.
+pub const BASE_SERVICE: u64 = 100;
+
+/// Virtual cost of one routing hop on the lookup path.
+pub const HOP_COST: u64 = 10;
 
 /// Retry schedule for identifier lookups under churn.
 ///
@@ -89,8 +97,14 @@ impl RetryPolicy {
     }
 
     /// Backoff delay before retry number `retry` (1-based): exponential
-    /// `base · 2^(retry-1)` capped at `max_backoff`, plus jitter uniform in
-    /// `[0, base)` drawn from the deterministic stream.
+    /// `base · 2^(retry-1)` plus jitter uniform in `[0, base)` drawn from
+    /// the deterministic stream, the whole sum capped at `max_backoff`.
+    ///
+    /// The jitter is drawn even when the cap swallows it, so the RNG
+    /// stream — and therefore every decision downstream of it — is
+    /// unchanged from earlier revisions where the cap applied to the
+    /// exponential term only and `exp + jitter` could overshoot
+    /// `max_backoff` by up to `base_backoff − 1`.
     pub fn backoff(&self, retry: u32, rng: &mut DetRng) -> u64 {
         let shift = (retry.saturating_sub(1)).min(16);
         let exp = self
@@ -102,7 +116,256 @@ impl RetryPolicy {
         } else {
             0
         };
-        exp + jitter
+        exp.saturating_add(jitter).min(self.max_backoff)
+    }
+}
+
+/// Per-peer adaptive failure detector in the phi-accrual style: an EWMA of
+/// observed response latencies and an EWMA of their absolute deviation feed
+/// a suspicion score — "how many deviations above the learned mean is this
+/// observation?" — so slowness is judged *relative to the peer's own
+/// history*, not against a fixed timeout. A peer that is consistently slow
+/// from the start is learned as such; a peer that suddenly degrades spikes
+/// the score immediately. Entirely arithmetic: no RNG, no wall clock, so
+/// attaching a detector to a run never perturbs replay.
+#[derive(Debug, Clone, Default)]
+pub struct FailureDetector {
+    estimates: BTreeMap<u32, PeerEstimate>,
+}
+
+/// Learned latency profile of one peer.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerEstimate {
+    /// EWMA of observed latencies.
+    pub mean: f64,
+    /// EWMA of absolute deviations from the mean.
+    pub dev: f64,
+    /// Observations recorded.
+    pub samples: u64,
+}
+
+/// EWMA smoothing factor: new observations carry 20% weight, so the
+/// estimate converges in a handful of probes yet rides out single spikes.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl FailureDetector {
+    /// A detector with no history.
+    pub fn new() -> FailureDetector {
+        FailureDetector::default()
+    }
+
+    /// Suspicion score of observing latency `latency` from `peer`, judged
+    /// against the peer's history *before* this observation is absorbed:
+    /// `(latency − mean) / max(dev, mean/8, 1)`. Zero (never negative) for
+    /// at-or-below-mean responses and for unknown peers — a peer earns
+    /// suspicion only by deviating from its own learned behaviour.
+    pub fn suspicion(&self, peer: u32, latency: u64) -> f64 {
+        let Some(est) = self.estimates.get(&peer) else {
+            return 0.0;
+        };
+        if est.samples == 0 {
+            return 0.0;
+        }
+        // Floor the deviation so a perfectly stable history (dev → 0)
+        // doesn't turn infinitesimal jitter into infinite suspicion.
+        let floor = (est.mean / 8.0).max(1.0);
+        ((latency as f64 - est.mean) / est.dev.max(floor)).max(0.0)
+    }
+
+    /// Absorb one latency observation for `peer`.
+    pub fn observe(&mut self, peer: u32, latency: u64) {
+        let est = self.estimates.entry(peer).or_insert(PeerEstimate {
+            mean: latency as f64,
+            dev: 0.0,
+            samples: 0,
+        });
+        let err = latency as f64 - est.mean;
+        est.mean += EWMA_ALPHA * err;
+        est.dev += EWMA_ALPHA * (err.abs() - est.dev);
+        est.samples += 1;
+    }
+
+    /// The learned profile of `peer`, if any observation was recorded.
+    pub fn estimate(&self, peer: u32) -> Option<&PeerEstimate> {
+        self.estimates.get(&peer)
+    }
+
+    /// Forget everything about `peer` (e.g. after it leaves the ring).
+    pub fn forget(&mut self, peer: u32) {
+        self.estimates.remove(&peer);
+    }
+
+    /// Number of peers with recorded history.
+    pub fn tracked(&self) -> usize {
+        self.estimates.len()
+    }
+}
+
+/// Circuit-breaker configuration shared by every per-peer breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive suspicious observations that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// Virtual time an open breaker waits before admitting one half-open
+    /// probe (deterministic: the transition is a pure function of the
+    /// opening instant, not of a timer thread).
+    pub cooldown: u64,
+    /// Suspicion score (see [`FailureDetector::suspicion`]) at or above
+    /// which an observation counts as a failure.
+    pub suspicion_threshold: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 2_000,
+            suspicion_threshold: 3.0,
+        }
+    }
+}
+
+/// Breaker state at a given virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are short-circuited to a replica.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is admitted; its
+    /// outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// What a recorded observation did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// No state change.
+    None,
+    /// Closed (or half-open) → open.
+    Opened,
+    /// Half-open probe succeeded → closed.
+    Closed,
+}
+
+/// Per-peer circuit breaker: closed → open after `failure_threshold`
+/// consecutive suspicious responses, half-open after `cooldown` virtual
+/// time units, closed again on a successful probe (re-opened on a failed
+/// one). All transitions are pure functions of `(observations, virtual
+/// time)` — nothing here can break deterministic replay.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    consecutive_failures: u32,
+    /// `Some(instant)` while tripped.
+    opened_at: Option<u64>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given configuration.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            consecutive_failures: 0,
+            opened_at: None,
+        }
+    }
+
+    /// State at virtual time `now`.
+    pub fn state(&self, now: u64) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(at) if now >= at.saturating_add(self.config.cooldown) => BreakerState::HalfOpen,
+            Some(_) => BreakerState::Open,
+        }
+    }
+
+    /// True if a request may be sent to the peer at `now` (closed, or
+    /// half-open admitting its probe).
+    pub fn allows(&self, now: u64) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Record the outcome of one admitted request at `now`.
+    pub fn record(&mut self, ok: bool, now: u64) -> BreakerTransition {
+        match self.state(now) {
+            BreakerState::Closed => {
+                if ok {
+                    self.consecutive_failures = 0;
+                    BreakerTransition::None
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.config.failure_threshold {
+                        self.opened_at = Some(now);
+                        BreakerTransition::Opened
+                    } else {
+                        BreakerTransition::None
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if ok {
+                    self.opened_at = None;
+                    self.consecutive_failures = 0;
+                    BreakerTransition::Closed
+                } else {
+                    // Failed probe: re-open, restarting the cooldown.
+                    self.opened_at = Some(now);
+                    BreakerTransition::Opened
+                }
+            }
+            BreakerState::Open => BreakerTransition::None,
+        }
+    }
+}
+
+/// How hedged lookups derive their backup-launch delay.
+///
+/// The delay adapts to the *observed* latency distribution: a backup fires
+/// once the primary has been outstanding longer than
+/// `multiplier × quantile(q)` of recent query latencies, clamped to
+/// `[min_delay, max_delay]`. On a healthy network the observed quantile
+/// sits far below `min_delay`, so no hedge ever fires and the feature is a
+/// pure observer (see the tail-tolerance proptests); once gray-slow peers
+/// stretch the tail, the delay tracks the healthy quantile and backups
+/// fire exactly for the slow primaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Which latency quantile anchors the delay (e.g. 0.9).
+    pub quantile: f64,
+    /// Multiplier on the anchored quantile.
+    pub multiplier: f64,
+    /// Lower clamp — also the zero-history default. Must exceed any
+    /// healthy-path latency or hedges fire on clean networks: under the
+    /// virtual service model the worst clean fetch costs
+    /// `hop_budget × HOP_COST + BASE_SERVICE` (740 at the default budget
+    /// of 64), so the default floor of 1 000 guarantees the pure-observer
+    /// property unconditionally.
+    pub min_delay: u64,
+    /// Upper clamp, so one catastrophic tail sample cannot disable
+    /// hedging for the rest of a run.
+    pub max_delay: u64,
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            quantile: 0.9,
+            multiplier: 2.0,
+            min_delay: 1_000,
+            max_delay: 5_000,
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// The hedge delay derived from an observed latency histogram.
+    pub fn delay(&self, observed: &ars_telemetry::Hist) -> u64 {
+        if observed.count == 0 {
+            return self.min_delay;
+        }
+        let anchored = (observed.quantile(self.quantile) as f64 * self.multiplier) as u64;
+        anchored.clamp(self.min_delay, self.max_delay)
     }
 }
 
@@ -153,6 +416,23 @@ pub struct ResilienceStats {
     /// Retries forfeited because the whole-query
     /// [`RetryPolicy::deadline`] was exhausted.
     pub deadline_exhausted: u64,
+    /// Backup lookups launched because a primary was outstanding past the
+    /// adaptive hedge delay.
+    pub hedges_fired: u64,
+    /// Hedges whose backup answered before the primary (first response
+    /// wins; the loser's cost stays in `hedge_hops`).
+    pub hedges_won: u64,
+    /// Routing hops spent on backup lookups — the honest price of
+    /// hedging, whether or not the backup won.
+    pub hedge_hops: u64,
+    /// Circuit breakers tripped (closed/half-open → open).
+    pub breaker_opens: u64,
+    /// Fetches short-circuited straight to a replica because the
+    /// primary's breaker was open.
+    pub breaker_short_circuits: u64,
+    /// Health-probe messages sent by [`crate::ChurnNetwork::probe_peers`]
+    /// sweeps (each feeds the failure detector and breakers).
+    pub probes_sent: u64,
 }
 
 #[cfg(test)]
@@ -194,10 +474,47 @@ mod tests {
             (200..300).contains(&d2),
             "retry 2: 2·base + jitter, got {d2}"
         );
-        assert!(
-            (400..500).contains(&d5),
-            "retry 5: capped + jitter, got {d5}"
-        );
+        assert_eq!(d5, 400, "retry 5: the cap bounds the whole sum");
+    }
+
+    #[test]
+    fn backoff_never_exceeds_max() {
+        // The cap applies to exp + jitter, not the exponential term alone.
+        for seed in 0..16 {
+            let p = RetryPolicy {
+                attempts: 8,
+                timeout_budget: u64::MAX,
+                base_backoff: 100,
+                max_backoff: 400,
+                hop_budget: 8,
+                deadline: None,
+            };
+            let mut rng = DetRng::new(seed);
+            for retry in 1..40 {
+                let d = p.backoff(retry, &mut rng);
+                assert!(d <= p.max_backoff, "seed {seed} retry {retry}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_clamp_preserves_rng_stream() {
+        // The jitter draw happens whether or not the cap swallows it, so
+        // a clamped call leaves the stream exactly where the old
+        // overshooting code did — later draws are unchanged.
+        let p = RetryPolicy {
+            attempts: 8,
+            timeout_budget: u64::MAX,
+            base_backoff: 100,
+            max_backoff: 400,
+            hop_budget: 8,
+            deadline: None,
+        };
+        let mut a = DetRng::new(13);
+        let mut b = DetRng::new(13);
+        let _ = p.backoff(10, &mut a); // deep retry: clamped
+        let _ = b.gen_range_u64(p.base_backoff); // what the old code drew
+        assert_eq!(a.gen_range_u64(1_000_000), b.gen_range_u64(1_000_000));
     }
 
     #[test]
@@ -215,7 +532,7 @@ mod tests {
         let p = RetryPolicy::default();
         let mut rng = DetRng::new(0);
         let d = p.backoff(u32::MAX, &mut rng);
-        assert!(d <= p.max_backoff + p.base_backoff);
+        assert!(d <= p.max_backoff);
     }
 
     #[test]
@@ -238,8 +555,124 @@ mod tests {
                 partition_degraded_queries: 0,
                 partition_writes: 0,
                 deadline_exhausted: 0,
+                hedges_fired: 0,
+                hedges_won: 0,
+                hedge_hops: 0,
+                breaker_opens: 0,
+                breaker_short_circuits: 0,
+                probes_sent: 0,
             }
         );
+    }
+
+    #[test]
+    fn detector_learns_and_scores_relative_to_history() {
+        let mut d = FailureDetector::new();
+        assert_eq!(d.suspicion(7, 10_000), 0.0, "unknown peers earn nothing");
+        for _ in 0..20 {
+            d.observe(7, 100);
+        }
+        let est = d.estimate(7).unwrap();
+        assert!(
+            (est.mean - 100.0).abs() < 1.0,
+            "mean converged: {}",
+            est.mean
+        );
+        // At-or-below-mean responses are never suspicious.
+        assert_eq!(d.suspicion(7, 100), 0.0);
+        assert_eq!(d.suspicion(7, 10), 0.0);
+        // A 10× spike against a stable history is loudly suspicious.
+        assert!(d.suspicion(7, 1_000) > 3.0);
+        // A consistently-slow peer is its own baseline: same 1000 from a
+        // peer that always answers in 1000 is not suspicious.
+        for _ in 0..20 {
+            d.observe(8, 1_000);
+        }
+        assert!(d.suspicion(8, 1_000) < 1.0);
+        d.forget(7);
+        assert_eq!(d.suspicion(7, 1_000_000), 0.0);
+        assert_eq!(d.tracked(), 1);
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            cooldown: 1_000,
+            suspicion_threshold: 3.0,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert!(b.allows(0));
+        // One failure: still closed (threshold is 2).
+        assert_eq!(b.record(false, 10), BreakerTransition::None);
+        assert_eq!(b.state(10), BreakerState::Closed);
+        // Second consecutive failure: trips.
+        assert_eq!(b.record(false, 20), BreakerTransition::Opened);
+        assert_eq!(b.state(20), BreakerState::Open);
+        assert!(!b.allows(500));
+        // Cooldown elapsed: half-open admits exactly the probe.
+        assert_eq!(b.state(1_020), BreakerState::HalfOpen);
+        assert!(b.allows(1_020));
+        // Successful probe closes it and resets the failure streak.
+        assert_eq!(b.record(true, 1_020), BreakerTransition::Closed);
+        assert_eq!(b.state(1_020), BreakerState::Closed);
+        assert_eq!(b.record(false, 1_030), BreakerTransition::None);
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: 1_000,
+            suspicion_threshold: 3.0,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.record(false, 0), BreakerTransition::Opened);
+        assert_eq!(b.state(1_000), BreakerState::HalfOpen);
+        assert_eq!(b.record(false, 1_000), BreakerTransition::Opened);
+        assert_eq!(b.state(1_500), BreakerState::Open, "cooldown restarted");
+        assert_eq!(b.state(2_000), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn interleaved_success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default()); // threshold 2
+        assert_eq!(b.record(false, 0), BreakerTransition::None);
+        assert_eq!(b.record(true, 1), BreakerTransition::None);
+        assert_eq!(b.record(false, 2), BreakerTransition::None);
+        assert_eq!(
+            b.state(3),
+            BreakerState::Closed,
+            "non-consecutive failures never trip"
+        );
+    }
+
+    #[test]
+    fn hedge_delay_clamps_and_tracks_quantile() {
+        let policy = HedgePolicy::default();
+        // No history: the floor.
+        assert_eq!(policy.delay(&ars_telemetry::Hist::default()), 1_000);
+        // The floor must clear the worst clean-path latency so clean
+        // networks never hedge.
+        assert!(policy.min_delay > 64 * HOP_COST + BASE_SERVICE);
+        // Healthy history far below the floor: still the floor.
+        let mut fast = ars_telemetry::Hist::default();
+        for _ in 0..100 {
+            fast.record(150);
+        }
+        assert_eq!(policy.delay(&fast), 1_000);
+        // A stretched tail pulls the delay up with the q90…
+        let mut slow = ars_telemetry::Hist::default();
+        for _ in 0..100 {
+            slow.record(1_000);
+        }
+        let d = policy.delay(&slow);
+        assert!((1_000..=2_048).contains(&d), "2 × q90 ≈ 2000, got {d}");
+        // …but the ceiling bounds catastrophe.
+        let mut awful = ars_telemetry::Hist::default();
+        awful.record(1_000_000);
+        assert_eq!(policy.delay(&awful), 5_000);
     }
 
     #[test]

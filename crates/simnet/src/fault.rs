@@ -19,6 +19,9 @@
 //!   `partitioned` ledger column (island-internal traffic is untouched);
 //! * **pause**: a message to a node inside a pause window is deferred to
 //!   the window's end (a stalled-but-alive process), not dropped;
+//! * **slow**: while a [`SlowWindow`] is open, a message touching a slowed
+//!   endpoint is delivered at a multiple of the model latency — a gray
+//!   failure (slow-but-alive node), counted in its own `slowed` column;
 //! * **drop**: the message vanishes, counted in `dropped`;
 //! * **duplicate**: one extra copy is scheduled (each copy counts as sent
 //!   and is then independently delayed);
@@ -46,6 +49,35 @@ pub struct PauseWindow {
     pub from: SimTime,
     /// Pause end (exclusive) — deferred messages land here.
     pub until: SimTime,
+}
+
+/// A gray failure: within `[from, until)` the listed nodes are *slow* —
+/// alive, responsive, never dropping traffic, but serving every message
+/// at `factor ×` the model latency. This is the fault class crash/pause
+/// windows cannot express: an overloaded or degraded node that silently
+/// inflates tail latency without tripping any failure path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowWindow {
+    /// The slowed nodes (runtime peer indices).
+    pub nodes: Vec<usize>,
+    /// Latency multiplier (≥ 2; 1 would be a no-op).
+    pub factor: u64,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl SlowWindow {
+    /// True if the window is open at `now`.
+    pub fn is_open(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+
+    /// True if this window slows `node` at `now`.
+    pub fn slows(&self, node: usize, now: SimTime) -> bool {
+        self.is_open(now) && self.nodes.contains(&node)
+    }
 }
 
 /// A scheduled network partition: within `[from, until)` the nodes listed
@@ -108,6 +140,9 @@ pub struct FaultPlan {
     /// Scheduled network partitions (cross-island traffic is dropped
     /// while a window is open).
     pub partitions: Vec<PartitionWindow>,
+    /// Gray failures: slow-but-alive nodes whose traffic is delivered at a
+    /// multiple of the model latency while a window is open.
+    pub slow: Vec<SlowWindow>,
     /// Storage fault: probability a crash leaves a torn (partial) tail
     /// write on a peer's durable log instead of a clean truncation.
     /// Executed by `ars-store`'s simulated disks, not by the transport
@@ -137,6 +172,7 @@ impl FaultPlan {
             && self.crashes.is_empty()
             && self.pauses.is_empty()
             && self.partitions.is_empty()
+            && self.slow.is_empty()
     }
 
     /// Drop every message independently with probability `p`.
@@ -230,6 +266,33 @@ impl FaultPlan {
         self
     }
 
+    /// Slow every node in `nodes` by `factor ×` over `[from, until)`: a
+    /// gray failure. Messages touching a slowed endpoint are still
+    /// delivered (never dropped), but their model latency is multiplied,
+    /// and each such delivery is counted in the `slowed` ledger column.
+    ///
+    /// # Panics
+    /// Panics unless `from < until`, `nodes` is non-empty, and
+    /// `factor ≥ 2` (a factor of 1 would be an invisible no-op).
+    pub fn with_slow(
+        mut self,
+        nodes: Vec<usize>,
+        factor: u64,
+        from: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        assert!(from < until, "empty slow window");
+        assert!(!nodes.is_empty(), "empty slow node set");
+        assert!(factor >= 2, "slow factor must be at least 2");
+        self.slow.push(SlowWindow {
+            nodes,
+            factor,
+            from,
+            until,
+        });
+        self
+    }
+
     /// Declare the storage-fault surface crash-restart runs execute on
     /// their simulated disks: `torn_write_p` per-crash torn tail writes,
     /// `bit_flip_p` per-crash tail bit flips. Un-synced suffixes are
@@ -293,6 +356,7 @@ pub struct FaultInjector {
     duplicated: u64,
     delayed: u64,
     partitioned: u64,
+    slowed: u64,
 }
 
 impl FaultInjector {
@@ -305,6 +369,7 @@ impl FaultInjector {
             duplicated: 0,
             delayed: 0,
             partitioned: 0,
+            slowed: 0,
         }
     }
 
@@ -331,6 +396,11 @@ impl FaultInjector {
     /// Messages lost to an open partition window.
     pub fn partitioned(&self) -> u64 {
         self.partitioned
+    }
+
+    /// Deliveries inflated by an open slow window (gray failures).
+    pub fn slowed(&self) -> u64 {
+        self.slowed
     }
 
     /// True if `node` has crashed at or before `now`.
@@ -364,6 +434,27 @@ impl FaultInjector {
     /// already in flight when the window opened, lost on arrival).
     pub fn note_partitioned(&mut self) {
         self.partitioned += 1;
+    }
+
+    /// Latency multiplier for a message `from → to` at `now`: the maximum
+    /// factor over every open slow window touching either endpoint, 1 when
+    /// none. Like the crash and partition checks this consumes no
+    /// randomness, so adding slow windows to a plan never perturbs the
+    /// drop/duplicate/delay stream (see `slow_consumes_no_randomness`).
+    pub fn slow_factor(&self, from: usize, to: usize, now: SimTime) -> u64 {
+        self.plan
+            .slow
+            .iter()
+            .filter(|w| w.slows(from, now) || w.slows(to, now))
+            .map(|w| w.factor)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Record a delivery whose latency was inflated by a slow window (the
+    /// runtimes call this once per delivered copy they scaled).
+    pub fn note_slowed(&mut self) {
+        self.slowed += 1;
     }
 
     /// Decide the fate of one message sent `from → to` at virtual time
@@ -537,6 +628,60 @@ mod tests {
         for t in 0..200 {
             assert_eq!(a.on_send(0, 1, t), b.on_send(0, 1, t));
         }
+    }
+
+    #[test]
+    fn slow_window_scales_only_inside_window() {
+        let plan = FaultPlan::none().with_slow(vec![2], 10, 100, 200);
+        assert!(!plan.is_benign(), "a slow plan is not benign");
+        let mut inj = FaultInjector::new(plan, 1);
+        // Outside the window: unit factor.
+        assert_eq!(inj.slow_factor(0, 2, 99), 1);
+        assert_eq!(inj.slow_factor(0, 2, 200), 1);
+        // Inside: either direction, both endpoints checked.
+        assert_eq!(inj.slow_factor(0, 2, 100), 10);
+        assert_eq!(inj.slow_factor(2, 0, 150), 10);
+        // A link not touching the slow node is unaffected.
+        assert_eq!(inj.slow_factor(0, 1, 150), 1);
+        // Slowness never drops: the send decision is a clean delivery.
+        assert_eq!(inj.on_send(0, 2, 150), FaultAction::Deliver(vec![0]));
+    }
+
+    #[test]
+    fn overlapping_slow_windows_take_max_factor() {
+        let plan =
+            FaultPlan::none()
+                .with_slow(vec![1], 4, 0, 100)
+                .with_slow(vec![1, 2], 10, 50, 100);
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(inj.slow_factor(0, 1, 10), 4);
+        assert_eq!(inj.slow_factor(0, 1, 60), 10, "max of open windows");
+        assert_eq!(inj.slow_factor(0, 2, 10), 1);
+    }
+
+    #[test]
+    fn slow_consumes_no_randomness() {
+        // Identical drop-plans with and without slow windows must make
+        // identical drop decisions — the gray-fault check is RNG-free.
+        let base = FaultPlan::none().with_drop(0.5);
+        let with_slow = base.clone().with_slow(vec![0, 1], 10, 0, 1_000);
+        let mut a = FaultInjector::new(base, 42);
+        let mut b = FaultInjector::new(with_slow, 42);
+        for t in 0..200 {
+            assert_eq!(a.on_send(0, 1, t), b.on_send(0, 1, t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor must be at least 2")]
+    fn unit_slow_factor_rejected() {
+        let _ = FaultPlan::none().with_slow(vec![0], 1, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slow window")]
+    fn empty_slow_window_rejected() {
+        let _ = FaultPlan::none().with_slow(vec![0], 2, 10, 10);
     }
 
     #[test]

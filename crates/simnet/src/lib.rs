@@ -16,10 +16,11 @@
 //!   `bytes`) so protocol messages have a concrete encoding, exercised by
 //!   round-trip tests.
 //! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
-//!   (drop, duplication, extra delay, node crash/pause windows, and
-//!   scheduled network partitions) executed identically by both runtimes,
-//!   driving the `SimStats` accounting invariant
-//!   `sent == delivered + dropped + partitioned + queued`.
+//!   (drop, duplication, extra delay, node crash/pause windows, scheduled
+//!   network partitions, and gray-failure slow windows) executed
+//!   identically by both runtimes, driving the `SimStats` accounting
+//!   invariant `sent == delivered + dropped + partitioned + queued`
+//!   (slowed copies are delivered, tracked in their own column).
 
 #![warn(missing_docs)]
 
@@ -30,6 +31,6 @@ pub mod sim;
 pub mod threaded;
 
 pub use event::{ConstantLatency, LatencyModel, UniformLatency};
-pub use fault::{FaultAction, FaultInjector, FaultPlan, PartitionWindow};
+pub use fault::{FaultAction, FaultInjector, FaultPlan, PartitionWindow, SlowWindow};
 pub use sim::{Node, NodeCtx, SimNet, SimStats};
 pub use threaded::ThreadedNet;

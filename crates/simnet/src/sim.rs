@@ -29,6 +29,10 @@ pub struct SimStats {
     pub partitioned: u64,
     /// Messages currently scheduled but not yet delivered.
     pub queued: u64,
+    /// Copies whose latency was inflated by an open slow window (gray
+    /// failures). These are *delivered*, so the column is informational —
+    /// it never appears in the conservation identity.
+    pub slowed: u64,
     /// Total wire bytes sent (only counted when a meter is installed via
     /// [`SimNet::set_meter`]).
     pub bytes: u64,
@@ -53,6 +57,7 @@ impl SimStats {
         telemetry.gauge_set("simnet.dropped", self.dropped);
         telemetry.gauge_set("simnet.partitioned", self.partitioned);
         telemetry.gauge_set("simnet.queued", self.queued);
+        telemetry.gauge_set("simnet.slowed", self.slowed);
         telemetry.gauge_set("simnet.bytes", self.bytes);
         telemetry.gauge_set("simnet.end_time", self.end_time);
     }
@@ -185,11 +190,23 @@ impl<M: Clone, L: LatencyModel> SimNet<M, L> {
                 self.stats.partitioned += 1;
             }
             FaultAction::Deliver(extras) => {
+                // Gray failure: a slowed endpoint serves at a multiple of
+                // the model latency (the copy is still delivered).
+                let factor = self
+                    .faults
+                    .as_ref()
+                    .map_or(1, |inj| inj.slow_factor(from, to, at));
                 for extra in extras {
                     self.stats.sent += 1;
                     self.stats.queued += 1;
                     self.stats.bytes += self.metered(&msg);
-                    let lat = self.latency.latency(from, to);
+                    let lat = self.latency.latency(from, to) * factor;
+                    if factor > 1 {
+                        self.stats.slowed += 1;
+                        if let Some(inj) = &mut self.faults {
+                            inj.note_slowed();
+                        }
+                    }
                     self.queue.schedule(at + lat + extra, from, to, msg.clone());
                 }
             }
@@ -507,6 +524,32 @@ mod tests {
         assert_eq!(s.partitioned, 1);
         assert!(s.is_conserved());
         assert_eq!(net.fault_injector().unwrap().partitioned(), 1);
+    }
+
+    #[test]
+    fn slow_window_multiplies_latency_and_counts() {
+        use crate::fault::FaultPlan;
+        let mut net = relay_net(2);
+        // Node 1 is 10× slow over [0, 1000); constant latency is 10.
+        net.set_faults(FaultPlan::none().with_slow(vec![1], 10, 0, 1000), 1);
+        net.inject(0, 1, 0); // delivered at 10 × 10 = 100
+        net.run(u64::MAX);
+        let s = net.stats().clone();
+        assert_eq!(net.now(), 100, "latency multiplied by the slow factor");
+        assert_eq!(s.delivered, 1, "slow is not loss");
+        assert_eq!(s.slowed, 1);
+        assert!(s.is_conserved(), "slowed never enters the ledger identity");
+        assert_eq!(net.fault_injector().unwrap().slowed(), 1);
+        // After the window closes the node serves at model speed again.
+        while net.now() < 1000 {
+            net.inject(0, 0, 0);
+            net.run(u64::MAX);
+        }
+        let t0 = net.now();
+        net.inject(0, 1, 0);
+        net.run(u64::MAX);
+        assert_eq!(net.now(), t0 + 10, "back to model latency after heal");
+        assert_eq!(net.stats().slowed, 1, "no new slowed copies after heal");
     }
 
     #[test]

@@ -32,6 +32,10 @@ struct NetCounters {
     delivered: AtomicU64,
     dropped: AtomicU64,
     partitioned: AtomicU64,
+    /// Copies that touched a slowed endpoint (gray failures). Informational
+    /// — slowed copies are still delivered, so this never enters the
+    /// quiescence identity.
+    slowed: AtomicU64,
 }
 
 /// A running threaded network.
@@ -71,9 +75,21 @@ fn faulty_send<M: Clone + Send>(
         FaultAction::Deliver(extras) => {
             // Extra delay has no wall-clock meaning here; each entry still
             // yields one copy, so duplication behaves identically to the
-            // simulator.
+            // simulator. Slow windows likewise cannot stretch wall time,
+            // but slowed copies are still counted so ledgers line up with
+            // the simulator's.
+            let factor = match faults {
+                Some(inj) => inj.lock().slow_factor(from, to, now),
+                None => 1,
+            };
             for _ in extras {
                 counters.sent.fetch_add(1, Ordering::Relaxed);
+                if factor > 1 {
+                    counters.slowed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(inj) = faults {
+                        inj.lock().note_slowed();
+                    }
+                }
                 // A send can only fail if the peer already stopped; drop
                 // the message like a dead TCP connection would.
                 if senders[to]
@@ -258,6 +274,11 @@ impl<M: Clone + Send + 'static> ThreadedNet<M> {
         self.counters.partitioned.load(Ordering::Relaxed)
     }
 
+    /// Copies that touched a slowed endpoint so far (delivered, not lost).
+    pub fn slowed(&self) -> u64 {
+        self.counters.slowed.load(Ordering::Relaxed)
+    }
+
     /// Send attempts so far (delivered + dropped + partitioned at
     /// quiescence).
     pub fn sent(&self) -> u64 {
@@ -379,6 +400,28 @@ mod tests {
         assert_eq!(
             net.sent(),
             net.delivered() + net.dropped() + net.partitioned()
+        );
+        net.shutdown();
+    }
+
+    #[test]
+    fn slow_window_counts_but_never_loses() {
+        // Logical clock starts at 0: a window over [0, u64::MAX) covers
+        // the run. Slowness cannot stretch wall time here; the ledger
+        // column is what carries across runtimes.
+        let plan = FaultPlan::none().with_slow(vec![1], 10, 0, u64::MAX);
+        let net = ThreadedNet::spawn_with_faults(boxed(2), plan, 1);
+        for _ in 0..10 {
+            net.inject(0, 1, 0); // touches the slowed peer
+        }
+        net.inject(0, 0, 0); // does not
+        assert!(net.await_quiescence(std::time::Duration::from_secs(5)));
+        assert_eq!(net.delivered(), 11, "slow is not loss");
+        assert_eq!(net.slowed(), 10);
+        assert_eq!(
+            net.sent(),
+            net.delivered() + net.dropped() + net.partitioned(),
+            "slowed never enters the conservation identity"
         );
         net.shutdown();
     }

@@ -62,6 +62,59 @@ impl Hist {
         }
     }
 
+    /// Approximate quantile `q ∈ [0, 1]` reconstructed from the log₂
+    /// buckets: the bucket holding the rank-`⌈q·count⌉` sample is located
+    /// exactly, then the value is linearly interpolated across the
+    /// bucket's span `[2^(i−1), 2^i − 1]` by rank position and clamped to
+    /// the exact observed `[min, max]`. The result is within one bucket
+    /// (a factor of 2) of the true quantile — tight enough for hedge-delay
+    /// derivation and tail reporting, at 65 words of state.
+    ///
+    /// Returns 0 when the histogram is empty.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                if i == 0 {
+                    return 0; // bucket 0 holds only the value 0
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                let into = (rank - (seen - c)) as f64 / c as f64;
+                let est = lo as f64 + into * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Approximate median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 90th percentile (see [`Self::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Approximate 99th percentile (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Non-empty buckets as `(bucket_index, count)`, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -226,6 +279,67 @@ mod tests {
     #[test]
     fn empty_hist_mean_is_zero() {
         assert_eq!(Hist::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_hist_quantiles_are_zero() {
+        let h = Hist::default();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // min/max clamping makes a one-sample histogram exact at every q.
+        let mut h = Hist::default();
+        h.record(137);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 137, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_accurate() {
+        // 100 samples 1..=100: true p50 = 50, p90 = 90, p99 = 99. The
+        // log₂ reconstruction must land within the true value's bucket
+        // (a factor-of-2 band) and be monotone in q.
+        let mut h = Hist::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        assert!((32..=63).contains(&p50), "p50 {p50} outside bucket of 50");
+        assert!((64..=100).contains(&p90), "p90 {p90} outside bucket of 90");
+        assert!((64..=100).contains(&p99), "p99 {p99} outside bucket of 99");
+        assert_eq!(h.quantile(1.0), 100, "q=1 clamps to the exact max");
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to the exact min");
+    }
+
+    #[test]
+    fn bimodal_hist_separates_modes() {
+        // 90 fast samples at 100 and 10 slow ones at 10_000: p50 must
+        // report the fast mode, p99 the slow one — the property hedge
+        // delays rely on.
+        let mut h = Hist::default();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert!(h.p50() < 256, "p50 {} must sit in the fast mode", h.p50());
+        assert!(
+            h.p99() >= 8_192,
+            "p99 {} must sit in the slow mode",
+            h.p99()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_validates_q() {
+        let _ = Hist::default().quantile(1.5);
     }
 
     #[test]

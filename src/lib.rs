@@ -62,9 +62,10 @@ pub mod prelude {
     pub use ars_chord::{DynamicNetwork, Id, Ring};
     pub use ars_common::{DetRng, Histogram, Summary};
     pub use ars_core::{
-        BatchTimings, ChurnNetwork, DataNetwork, DurabilityConfig, EngineOptions, MatchMeasure,
-        ProtoNetwork, QueryEngine, QueryOutcome, RangeSelectNetwork, RepairRound, ResilienceStats,
-        RetryPolicy, SystemConfig,
+        Admission, AdmissionStats, BatchTimings, BreakerConfig, BreakerState, ChurnNetwork,
+        CircuitBreaker, DataNetwork, DurabilityConfig, EngineOptions, FailureDetector, HedgePolicy,
+        MatchMeasure, ProtoNetwork, QueryEngine, QueryOutcome, RangeSelectNetwork, RepairRound,
+        ResilienceStats, RetryPolicy, SubmitError, SystemConfig,
     };
     pub use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
     pub use ars_relation::{

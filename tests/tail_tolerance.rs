@@ -1,0 +1,472 @@
+//! Gray-failure tolerance integration suite: slow-but-alive peers, the
+//! adaptive failure detector and circuit breakers, hedged lookups, and
+//! deadline-aware overload shedding.
+//!
+//! Five angles:
+//!
+//! 1. message accounting — a `SlowWindow` multiplies latency without
+//!    losing anything: the conservation identity
+//!    `sent == delivered + dropped + partitioned + queued` holds with the
+//!    `slowed` column counted *outside* it, in both the discrete-event
+//!    and the threaded runtime;
+//! 2. pure observation — with hedging and breakers enabled but **zero**
+//!    gray faults, query outcomes, the inventory, and the resilience
+//!    ledger are bit-identical to a run with the machinery disabled,
+//!    including under churn (proptest);
+//! 3. detection — a live network's probes walk a slow peer's breaker
+//!    through closed → open, and a healed peer through
+//!    half-open → closed, on the deterministic virtual clock;
+//! 4. tail tolerance — with a fraction of peers slowed, hedges fire and
+//!    win, breaker short-circuits keep the p99 down, and recall is
+//!    *identical* to the baseline run (substitutes serve the same
+//!    buckets);
+//! 5. shedding — the engine's deadline-aware admission keeps its ledger
+//!    balanced (`submitted == completed + shed + queued`) and sheds
+//!    deterministically.
+//!
+//! The fixed seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep a
+//! small matrix of seeds over the same assertions.
+
+use ars::core::resilient::{BASE_SERVICE, HOP_COST};
+use ars::prelude::*;
+use ars::simnet::{ConstantLatency, Node, NodeCtx, SimNet};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn fault_seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Distinct well-spread query ranges for cache warm/measure phases.
+fn trace(n: usize) -> Vec<RangeSet> {
+    (0..n as u32)
+        .map(|i| {
+            let lo = i * 523 % 40_000;
+            RangeSet::interval(lo, lo + 60 + (i % 5) * 25)
+        })
+        .collect()
+}
+
+fn grown(n: usize, seed: u64) -> ChurnNetwork {
+    let config = SystemConfig::default()
+        .with_kl(16, 4)
+        .with_matching(MatchMeasure::Containment)
+        .with_replication(2)
+        .with_seed(seed);
+    ChurnNetwork::new(n, config).expect("growth converges")
+}
+
+// ---------------------------------------------------------------------
+// 1. Message accounting: slow windows delay, never lose.
+// ---------------------------------------------------------------------
+
+/// A node that forwards a decrementing counter around the ring.
+struct Relay {
+    n_nodes: usize,
+}
+
+impl Node<u32> for Relay {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, u32>, _from: usize, msg: u32) {
+        if msg > 0 {
+            ctx.send((ctx.me + 1) % self.n_nodes, msg - 1);
+        }
+    }
+}
+
+#[test]
+fn sim_slow_window_delays_but_conserves() {
+    let n = 12;
+    let nodes: Vec<Box<dyn Node<u32>>> = (0..n)
+        .map(|_| Box::new(Relay { n_nodes: n }) as Box<dyn Node<u32>>)
+        .collect();
+    let mut sim = SimNet::new(nodes, ConstantLatency(5));
+    sim.set_faults(
+        FaultPlan::none().with_slow(vec![3, 7], 10, 0, u64::MAX),
+        fault_seed(),
+    );
+    for i in 0..n {
+        sim.inject(0, i, 30);
+    }
+    while sim.step() {
+        assert!(
+            sim.stats().is_conserved(),
+            "conservation violated during slow-window run"
+        );
+    }
+    let stats = sim.stats();
+    assert_eq!(stats.queued, 0, "queue must drain");
+    assert_eq!(stats.dropped, 0, "gray failure loses nothing");
+    assert_eq!(stats.sent, stats.delivered, "every send arrives");
+    assert!(stats.slowed > 0, "traffic through nodes 3/7 must be slowed");
+    assert!(
+        stats.slowed < stats.delivered,
+        "slowed is a subset of delivered, not a ledger column"
+    );
+}
+
+#[test]
+fn threaded_slow_window_delays_but_conserves() {
+    let n = 8;
+    let nodes: Vec<Box<dyn Node<u32> + Send>> = (0..n)
+        .map(|_| Box::new(Relay { n_nodes: n }) as Box<dyn Node<u32> + Send>)
+        .collect();
+    let net = ThreadedNet::spawn_with_faults(
+        nodes,
+        FaultPlan::none().with_slow(vec![1], 4, 0, u64::MAX),
+        fault_seed(),
+    );
+    for i in 0..n {
+        net.inject(0, i, 20);
+    }
+    assert!(
+        net.await_quiescence(Duration::from_secs(10)),
+        "slowdown must delay the relay chains, not hang them"
+    );
+    assert_eq!(net.dropped(), 0, "gray failure loses nothing");
+    assert_eq!(net.sent(), net.delivered(), "every send arrives");
+    assert!(net.slowed() > 0, "traffic through node 1 must be slowed");
+}
+
+// ---------------------------------------------------------------------
+// 2. Pure observation: the machinery enabled on a healthy fleet changes
+//    nothing — bit for bit.
+// ---------------------------------------------------------------------
+
+/// Run the same scripted scenario on two networks grown from the same
+/// seed — `featured` has hedging + breakers enabled — and assert the
+/// runs are indistinguishable where it matters.
+fn assert_pure_observer(n: usize, seed: u64, churn_mid_trace: bool) {
+    let mut plain = grown(n, seed);
+    let mut featured = grown(n, seed);
+    // Default policies: the hedge floor provably exceeds the worst
+    // clean-path latency (hop_budget × HOP_COST + BASE_SERVICE), so no
+    // hedge can fire, and a healthy peer's suspicion is 0, so no breaker
+    // can open — even mid-churn.
+    featured.enable_hedging(HedgePolicy::default());
+    featured.enable_breakers(BreakerConfig::default());
+
+    let queries = trace(24);
+    for (i, q) in queries.iter().enumerate() {
+        if churn_mid_trace && i == queries.len() / 2 {
+            for net in [&mut plain, &mut featured] {
+                net.fail_random(n / 8);
+                net.stabilize(256).expect("ring recovers");
+            }
+        }
+        if i % 6 == 0 {
+            // Probing is part of the featured machinery, but it is pure
+            // observation too — run it on both so the probe ledger also
+            // matches exactly.
+            assert_eq!(plain.probe_peers(), featured.probe_peers());
+        }
+        let a = plain.query_resilient(q);
+        let b = featured.query_resilient(q);
+        assert_eq!(a, b, "outcome diverged at query {}", i);
+    }
+    assert_eq!(plain.inventory(), featured.inventory());
+    assert_eq!(plain.resilience(), featured.resilience());
+    let f = featured.resilience();
+    assert_eq!(f.hedges_fired, 0, "no hedge may fire on a healthy fleet");
+    assert_eq!(f.breaker_opens, 0, "no breaker may open on a healthy fleet");
+    assert_eq!(f.breaker_short_circuits, 0);
+}
+
+#[test]
+fn hedging_and_breakers_are_pure_observers_without_faults() {
+    assert_pure_observer(40, 0x0B5E ^ fault_seed(), false);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pure_observer_property_survives_churn(
+        n in 24usize..48,
+        seed in 0u64..1_000,
+        churn in any::<bool>(),
+    ) {
+        assert_pure_observer(n, seed ^ (fault_seed() << 32), churn);
+    }
+}
+
+/// The floor the pure-observer argument rests on, pinned as an
+/// invariant: if someone lowers the default hedge floor below the worst
+/// clean-path latency, this fails before the proptest gets flaky.
+#[test]
+fn default_hedge_floor_clears_worst_clean_path() {
+    let policy = HedgePolicy::default();
+    let worst_clean = RetryPolicy::default().hop_budget as u64 * HOP_COST + BASE_SERVICE;
+    assert!(
+        policy.min_delay > worst_clean,
+        "hedge floor {} must exceed worst clean-path latency {}",
+        policy.min_delay,
+        worst_clean
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. Detection: breakers open on sustained slowness and close after the
+//    peer heals, on the live virtual clock.
+// ---------------------------------------------------------------------
+
+#[test]
+fn breaker_opens_on_slow_peer_and_recloses_after_heal() {
+    let mut net = grown(30, 0xB4EA ^ fault_seed());
+    net.enable_breakers(BreakerConfig::default());
+    // Teach the detector healthy baselines.
+    for _ in 0..3 {
+        net.probe_peers();
+    }
+    let victim = net.chord().node_ids()[0];
+    assert_eq!(net.breaker_state(victim), Some(BreakerState::Closed));
+
+    net.set_slow(victim, 10);
+    net.probe_peers(); // first suspicious sample
+    net.probe_peers(); // second trips the breaker (failure_threshold = 2)
+    assert_eq!(net.breaker_state(victim), Some(BreakerState::Open));
+    let opens = net.resilience().breaker_opens;
+    assert!(opens >= 1, "the trip must be counted");
+
+    // Still slow at the half-open probe: the breaker re-opens (estimates
+    // are frozen while non-closed, so the degraded period cannot drift
+    // the baseline up and sneak the peer back in). Probes while Open are
+    // short-circuited, so the re-open happens exactly at the first probe
+    // landing in the half-open window — walk the clock until then.
+    let mut sweeps = 0;
+    while net.resilience().breaker_opens == opens {
+        net.probe_peers();
+        sweeps += 1;
+        assert!(sweeps < 100, "breaker never re-opened at half-open probe");
+    }
+    assert_eq!(net.breaker_state(victim), Some(BreakerState::Open));
+
+    // Healed: the next half-open probe sees a healthy sample and closes.
+    net.clear_slow(victim);
+    let mut sweeps = 0;
+    while net.breaker_state(victim) != Some(BreakerState::Closed) {
+        net.probe_peers();
+        sweeps += 1;
+        assert!(sweeps < 100, "healed peer's breaker never re-closed");
+    }
+    // And it stays closed: the frozen healthy baseline still fits.
+    net.probe_peers();
+    assert_eq!(net.breaker_state(victim), Some(BreakerState::Closed));
+}
+
+// ---------------------------------------------------------------------
+// 4. Tail tolerance: hedges win, short-circuits cut the tail, recall
+//    never moves.
+// ---------------------------------------------------------------------
+
+/// The tuned policy used for converged-ring measurements (the default
+/// floor is conservative enough for churning networks; here routes are
+/// short, so 500 still never fires on healthy peers).
+fn tuned_hedge() -> HedgePolicy {
+    HedgePolicy {
+        min_delay: 500,
+        ..HedgePolicy::default()
+    }
+}
+
+/// Warm, slow 20% of the fleet 10×, measure 2 rounds. Returns
+/// (total latency, mean recall, outcomes-influencing digest).
+fn measured_run(
+    net: &mut ChurnNetwork,
+    with_breaker_probes: bool,
+) -> (u64, f64, Vec<(f64, bool, usize)>) {
+    let queries = trace(40);
+    for q in &queries {
+        net.query_resilient(q);
+    }
+    if with_breaker_probes {
+        for _ in 0..3 {
+            net.probe_peers();
+        }
+    }
+    net.slow_fraction(0.2, 10);
+    if with_breaker_probes {
+        for _ in 0..2 {
+            net.probe_peers();
+        }
+    }
+    let mut total = 0u64;
+    let mut recall = 0.0;
+    let mut digest = Vec::new();
+    for _ in 0..2 {
+        for q in &queries {
+            let (out, lat) = net.query_timed(q);
+            total += lat;
+            recall += out.recall;
+            digest.push((out.recall, out.exact, out.hops.len()));
+        }
+    }
+    (total, recall / (2 * queries.len()) as f64, digest)
+}
+
+#[test]
+fn hedges_fire_win_and_cut_latency_under_slowness() {
+    let seed = 0x6ED6 ^ fault_seed();
+    let mut baseline = grown(40, seed);
+    let mut hedged = grown(40, seed);
+    hedged.enable_hedging(tuned_hedge());
+
+    let (base_total, base_recall, base_digest) = measured_run(&mut baseline, false);
+    let (hedged_total, hedged_recall, hedged_digest) = measured_run(&mut hedged, false);
+
+    let res = hedged.resilience();
+    assert!(res.hedges_fired > 0, "slow primaries must trigger hedges");
+    assert!(res.hedges_won > 0, "some backups must win the race");
+    assert!(
+        res.hedge_hops > 0,
+        "the losing/backup routes must be costed honestly"
+    );
+    assert!(
+        hedged_total < base_total,
+        "hedging must cut total latency ({hedged_total} vs {base_total})"
+    );
+    // A hedge serves the same bucket from a replica: answers identical.
+    assert_eq!(base_recall, hedged_recall, "recall must not move");
+    assert_eq!(base_digest, hedged_digest, "answers must be identical");
+}
+
+#[test]
+fn breaker_short_circuits_cut_tail_and_keep_recall() {
+    let seed = 0x5C5C ^ fault_seed();
+    let mut baseline = grown(40, seed);
+    let mut guarded = grown(40, seed);
+    guarded.enable_hedging(tuned_hedge());
+    guarded.enable_breakers(BreakerConfig {
+        cooldown: 250_000,
+        ..BreakerConfig::default()
+    });
+
+    let (base_total, base_recall, base_digest) = measured_run(&mut baseline, false);
+    let (guard_total, guard_recall, guard_digest) = measured_run(&mut guarded, true);
+
+    let res = guarded.resilience();
+    assert!(res.breaker_opens > 0, "slowed peers must trip breakers");
+    assert!(
+        res.breaker_short_circuits > 0,
+        "open breakers must short-circuit fetches"
+    );
+    assert!(
+        guard_total * 2 < base_total,
+        "short-circuits should at least halve total latency \
+         ({guard_total} vs {base_total})"
+    );
+    assert_eq!(base_recall, guard_recall, "recall must not move");
+    assert_eq!(base_digest, guard_digest, "answers must be identical");
+}
+
+#[test]
+fn slow_fraction_is_stride_spaced_and_deterministic() {
+    let mut net = grown(30, 0x51DE ^ fault_seed());
+    let victims = net.slow_fraction(0.2, 4);
+    assert_eq!(victims.len(), 6);
+    let mut ids = net.chord().node_ids();
+    ids.sort_unstable();
+    // Stride spacing: consecutive sorted positions are never both slow,
+    // so every victim's successor replica is healthy.
+    for w in ids.windows(2) {
+        assert!(
+            !(victims.contains(&w[0]) && victims.contains(&w[1])),
+            "adjacent ring positions both slowed"
+        );
+    }
+    // Same membership → same victims (no RNG consumed).
+    let mut twin = grown(30, 0x51DE ^ fault_seed());
+    assert_eq!(twin.slow_fraction(0.2, 4), victims);
+}
+
+// ---------------------------------------------------------------------
+// 5. Shedding: deadline-aware admission control keeps its books.
+// ---------------------------------------------------------------------
+
+#[test]
+fn admission_ledger_balances_under_overload() {
+    let net = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(fault_seed() ^ 0xADA));
+    let mut engine = QueryEngine::launch(
+        net,
+        EngineOptions {
+            shards: 2,
+            workers: 2,
+            queue: 32,
+        },
+    );
+    engine.set_service_cost(100);
+    let queries = trace(50);
+    // A burst at half the service rate: the backlog grows until the
+    // 300-unit deadline dooms the excess.
+    let decisions: Vec<bool> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| engine.submit_timed(q, i as u64 * 50, 300).is_shed())
+        .collect();
+    engine.drain().expect("no worker panicked");
+    let ledger = engine.admission();
+    assert_eq!(
+        ledger.submitted,
+        ledger.completed + ledger.shed + ledger.queued,
+        "admission ledger must balance"
+    );
+    assert_eq!(ledger.shed, decisions.iter().filter(|&&s| s).count() as u64);
+    assert!(ledger.shed > 0, "the overload burst must shed");
+    assert!(ledger.completed > 0, "the head of the burst must be served");
+
+    // The shed pattern is a pure function of arrivals — bit-identical on
+    // a rebuilt engine.
+    let net2 = RangeSelectNetwork::new(30, SystemConfig::default().with_seed(fault_seed() ^ 0xADA));
+    let mut engine2 = QueryEngine::launch(
+        net2,
+        EngineOptions {
+            shards: 2,
+            workers: 2,
+            queue: 32,
+        },
+    );
+    engine2.set_service_cost(100);
+    let decisions2: Vec<bool> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| engine2.submit_timed(q, i as u64 * 50, 300).is_shed())
+        .collect();
+    assert_eq!(decisions, decisions2, "shedding must be deterministic");
+    engine2.drain().expect("no worker panicked");
+    engine.shutdown().1.expect("no worker panicked");
+    engine2.shutdown().1.expect("no worker panicked");
+}
+
+// ---------------------------------------------------------------------
+// The README's hedged-query example, kept runnable.
+// ---------------------------------------------------------------------
+
+#[test]
+fn readme_hedged_query_example() {
+    // A 40-peer network with successor replication; hedging and
+    // circuit breakers watch every fetch.
+    let config = SystemConfig::default().with_replication(2).with_seed(7);
+    let mut net = ChurnNetwork::new(40, config).expect("ring converges");
+    net.enable_hedging(HedgePolicy {
+        min_delay: 500,
+        ..HedgePolicy::default()
+    });
+    net.enable_breakers(BreakerConfig::default());
+
+    // Cache a partition, then gray-slow a fifth of the fleet 10×.
+    let q = RangeSet::interval(30, 50);
+    net.query_resilient(&q);
+    net.slow_fraction(0.2, 10);
+
+    // Queries keep answering at healthy-path latency: slow primaries are
+    // hedged or short-circuited to replica holders of the same buckets.
+    let (out, latency) = net.query_timed(&q);
+    assert_eq!(out.recall, 1.0);
+    let stats = net.resilience();
+    println!(
+        "latency {latency}, hedges fired {}, won {}",
+        stats.hedges_fired, stats.hedges_won
+    );
+}
