@@ -1,0 +1,216 @@
+//! Lookup-budget sweep for multi-probe + layered placement, written to
+//! `BENCH_lsh_layers.json` at the repo root.
+//!
+//! The paper's placement routes each of a query's `l` group identifiers
+//! independently — `l` Chord lookups, each `O(log N)` hops. Layered
+//! placement ([`ars_core::PlacementMode::Layered`]) re-keys all of a
+//! range's buckets into one ring arc chosen by an anchor sketch, so a
+//! query spends **one** lookup plus a bounded successor walk, and
+//! multi-probe candidates ([`ars_lsh::probe`]) recover the recall the
+//! collapsed routing would otherwise give up. This harness sweeps
+//! probes × layers × l over a skewed trace (popular repeats, jittered
+//! neighbors, cold scans — the regime LSH placement exists for) and
+//! records recall, lookups/query, and messages/query per cell, the
+//! latter via [`ars_telemetry::MetricsSnapshot::messages_per_query`].
+//!
+//! Acceptance, asserted in-binary: the headline layered cell (l=5,
+//! layers=1, probes=16) holds mean recall within **1%** of the l=5
+//! independent baseline while spending **≤ ½** the lookups *and* ≤ ½
+//! the messages per query.
+//!
+//! The seed honors `ARS_FAULT_SEED` (default 0) so CI can sweep seeds.
+//!
+//! Usage: `cargo run --release -p ars-bench --bin bench_lsh_layers`
+
+use ars_core::{PlacementMode, RangeSelectNetwork, SystemConfig};
+use ars_lsh::RangeSet;
+use ars_telemetry::Telemetry;
+
+const N_PEERS: usize = 64;
+const K: usize = 20;
+const RECALL_SLACK: f64 = 0.01;
+const BUDGET_RATIO: f64 = 0.5;
+
+fn seed() -> u64 {
+    std::env::var("ARS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The sweep trace: two popular ranges re-queried throughout, small
+/// jitters around them, and a cold scan mix that never repeats. Shared
+/// verbatim by every cell so recall and cost are directly comparable.
+fn trace() -> Vec<RangeSet> {
+    let mut qs = Vec::new();
+    for i in 0..120u32 {
+        // Cold scan: `i * 97 mod 3000` never revisits a lo in 120 steps.
+        let lo = (i * 97) % 3000;
+        qs.push(RangeSet::interval(lo, lo + 40 + (i % 4) * 30));
+        if i % 2 == 0 {
+            qs.push(RangeSet::interval(500, 700)); // popular A
+        }
+        if i % 3 == 0 {
+            qs.push(RangeSet::interval(1_500, 1_620)); // popular B
+        }
+        if i % 4 == 0 {
+            // Jittered neighbor of popular A.
+            qs.push(RangeSet::interval(500 + (i % 3), 700 + (i % 2)));
+        }
+        if i % 6 == 0 {
+            // Jittered neighbor of popular B.
+            qs.push(RangeSet::interval(1_500 + (i % 2), 1_621));
+        }
+    }
+    qs
+}
+
+struct Cell {
+    mode: &'static str,
+    l: usize,
+    layers: usize,
+    probes: usize,
+    recall: f64,
+    lookups_per_query: f64,
+    messages_per_query: f64,
+    walk_steps: u64,
+    probe_checks: u64,
+}
+
+fn run_cell(mode: &'static str, l: usize, layers: usize, probes: usize, seed: u64) -> Cell {
+    let placement = match mode {
+        "independent" => PlacementMode::Independent,
+        "layered" => PlacementMode::Layered,
+        other => panic!("unknown mode {other}"),
+    };
+    let config = SystemConfig::default()
+        .with_seed(seed)
+        .with_kl(K, l)
+        .with_placement_mode(placement)
+        .with_layers(layers)
+        .with_probes(probes);
+    let mut net = RangeSelectNetwork::new(N_PEERS, config);
+    let tel = Telemetry::recording();
+    net.set_telemetry(tel.clone());
+
+    let queries = trace();
+    let mut recall_sum = 0.0;
+    for q in &queries {
+        recall_sum += net.query(q).recall;
+    }
+
+    let stats = net.stats();
+    assert_eq!(stats.queries, queries.len() as u64);
+    let snapshot = tel.snapshot();
+    Cell {
+        mode,
+        l,
+        layers,
+        probes,
+        recall: recall_sum / queries.len() as f64,
+        lookups_per_query: stats.lookups as f64 / stats.queries as f64,
+        messages_per_query: snapshot.messages_per_query(),
+        walk_steps: stats.walk_steps,
+        probe_checks: stats.probe_checks,
+    }
+}
+
+fn main() {
+    let seed = seed();
+    println!(
+        "# seed {seed} ({N_PEERS} peers, {} queries/cell, k={K})",
+        trace().len()
+    );
+    println!(
+        "  {:<12} {:>2} {:>6} {:>6} {:>8} {:>9} {:>10}",
+        "mode", "l", "layers", "probes", "recall", "lookups/q", "messages/q"
+    );
+
+    let mut cells = Vec::new();
+    cells.push(run_cell("independent", 5, 1, 0, seed)); // the paper baseline
+    cells.push(run_cell("independent", 3, 1, 0, seed)); // naive budget cut: fewer groups
+    for layers in [1usize, 2] {
+        for probes in [0usize, 8, 16, 32] {
+            cells.push(run_cell("layered", 5, layers, probes, seed));
+        }
+    }
+    for c in &cells {
+        println!(
+            "  {:<12} {:>2} {:>6} {:>6} {:>8.4} {:>9.3} {:>10.3}",
+            c.mode, c.l, c.layers, c.probes, c.recall, c.lookups_per_query, c.messages_per_query
+        );
+    }
+
+    let base = &cells[0];
+    let headline = cells
+        .iter()
+        .find(|c| c.mode == "layered" && c.layers == 1 && c.probes == 16)
+        .expect("headline cell in sweep");
+    let lookup_ratio = headline.lookups_per_query / base.lookups_per_query;
+    let message_ratio = headline.messages_per_query / base.messages_per_query;
+    println!(
+        "\nheadline (layered l=5 layers=1 probes=16 vs independent l=5): \
+         recall {:.4} vs {:.4}, lookups/q {:.3} vs {:.3} ({:.3}x), \
+         messages/q {:.3} vs {:.3} ({:.3}x)",
+        headline.recall,
+        base.recall,
+        headline.lookups_per_query,
+        base.lookups_per_query,
+        lookup_ratio,
+        headline.messages_per_query,
+        base.messages_per_query,
+        message_ratio,
+    );
+
+    assert!(
+        headline.recall >= base.recall - RECALL_SLACK,
+        "layered recall {:.4} fell more than {RECALL_SLACK} below the \
+         l=5 baseline {:.4}",
+        headline.recall,
+        base.recall
+    );
+    assert!(
+        lookup_ratio <= BUDGET_RATIO,
+        "layered placement spends {lookup_ratio:.3}x the baseline lookups \
+         (budget {BUDGET_RATIO}x)"
+    );
+    assert!(
+        message_ratio <= BUDGET_RATIO,
+        "layered placement spends {message_ratio:.3}x the baseline messages \
+         (budget {BUDGET_RATIO}x)"
+    );
+
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"lsh_layers\",\n  \"seed\": {seed},\n  \
+         \"peers\": {N_PEERS},\n  \"queries_per_cell\": {},\n  \"cells\": [\n",
+        trace().len()
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"l\": {}, \"layers\": {}, \"probes\": {}, \
+             \"recall\": {:.4}, \"lookups_per_query\": {:.3}, \
+             \"messages_per_query\": {:.3}, \"walk_steps\": {}, \
+             \"probe_checks\": {}}}{sep}\n",
+            c.mode,
+            c.l,
+            c.layers,
+            c.probes,
+            c.recall,
+            c.lookups_per_query,
+            c.messages_per_query,
+            c.walk_steps,
+            c.probe_checks
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\"lookup_ratio\": {lookup_ratio:.3}, \
+         \"message_ratio\": {message_ratio:.3}, \"recall_delta\": {:.4}, \
+         \"recall_slack\": {RECALL_SLACK}, \"budget_ratio\": {BUDGET_RATIO}}}\n}}\n",
+        headline.recall - base.recall
+    ));
+
+    let path = ars_bench::experiments::repo_root().join("BENCH_lsh_layers.json");
+    std::fs::write(&path, json).expect("write BENCH_lsh_layers.json");
+    println!("wrote {}", path.display());
+}

@@ -129,6 +129,8 @@ fn run_cell(frac: f64, factor: u64, mode: Mode, seed: u64) -> Cell {
         .with_replication(2)
         .with_seed(0x7A11 ^ seed);
     let mut net = ChurnNetwork::new(N_PEERS, config).expect("growth converges");
+    let tel = ars_telemetry::Telemetry::recording();
+    net.set_telemetry(tel.clone());
     match mode {
         Mode::Baseline => {}
         Mode::Hedged => net.enable_hedging(bench_hedge_policy()),
@@ -163,18 +165,22 @@ fn run_cell(frac: f64, factor: u64, mode: Mode, seed: u64) -> Cell {
         }
     }
 
-    // Measure.
+    // Measure. Message accounting comes from the telemetry-derived
+    // metric ([`ars_telemetry::MetricsSnapshot::total_messages`]) rather
+    // than a hand-rolled sum; the warm phase's routed hops are excluded
+    // (measured lookups only), while hedge/detour hops and health probes
+    // — all spent in or for the measured window — count in full.
+    let warm_hops = tel.snapshot().counter("resilient.lookup.hops");
     let mut latencies = Vec::with_capacity(N_QUERIES * MEASURE_ROUNDS);
     let mut recall_sum = 0.0;
-    let mut hops_sum = 0u64;
     for _ in 0..MEASURE_ROUNDS {
         for q in &queries {
             let (out, lat) = net.query_timed(q);
             latencies.push(lat);
             recall_sum += out.recall;
-            hops_sum += out.hops.iter().sum::<usize>() as u64;
         }
     }
+    let messages = tel.snapshot().total_messages() - warm_hops;
     latencies.sort_unstable();
     let quantile = |q: f64| -> u64 {
         let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
@@ -189,7 +195,7 @@ fn run_cell(frac: f64, factor: u64, mode: Mode, seed: u64) -> Cell {
         p99: quantile(0.99),
         mean: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
         recall: recall_sum / latencies.len() as f64,
-        messages: hops_sum + res.hedge_hops + res.probes_sent,
+        messages,
         hedges_fired: res.hedges_fired,
         hedges_won: res.hedges_won,
         short_circuits: res.breaker_short_circuits,

@@ -28,6 +28,7 @@
 pub mod dynamic;
 pub mod finger;
 pub mod id;
+pub mod layered;
 pub mod lookup;
 pub mod ring;
 pub mod sha1;
@@ -35,6 +36,7 @@ pub mod vnodes;
 
 pub use dynamic::{DynamicNetwork, RingView, RouteCacheStats};
 pub use id::Id;
+pub use layered::{arc_base, layered_position, ARC_SPAN_BITS};
 pub use ring::Ring;
 pub use sha1::sha1;
 pub use vnodes::VirtualRing;

@@ -131,6 +131,23 @@ impl Ring {
     pub fn lookup_trace(&self, from: Id, key: Id) -> LookupTrace {
         lookup_trace(self, from, key)
     }
+
+    /// `start` and its next `window − 1` successors in ring order,
+    /// deduplicated (at most `len` nodes). This is the bounded
+    /// successor-list walk of layered placement: after one lookup lands on
+    /// the first owner of an arc, the remaining co-located buckets are
+    /// served by walking existing successor links — one overlay message
+    /// per step, no routing.
+    ///
+    /// # Panics
+    /// Panics if `start` is not a node of the ring or `window` is zero.
+    pub fn successors_window(&self, start: Id, window: usize) -> Vec<Id> {
+        assert!(window >= 1, "successor window must be at least 1");
+        let i = *self.index.get(&start.0).expect("walk start not in ring");
+        (0..window.min(self.ids.len()))
+            .map(|step| self.ids[(i + step) % self.ids.len()])
+            .collect()
+    }
 }
 
 /// First id ≥ key in circular order over a sorted list.
@@ -205,6 +222,24 @@ mod tests {
         let (owner, hops) = ring.lookup(Id(7), Id(12345));
         assert_eq!(owner, Id(7));
         assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn successors_window_walks_in_ring_order() {
+        let ring = Ring::new(vec![Id(100), Id(200), Id(300)]);
+        assert_eq!(ring.successors_window(Id(200), 2), vec![Id(200), Id(300)]);
+        // Wraps and dedups at the ring size.
+        assert_eq!(
+            ring.successors_window(Id(300), 5),
+            vec![Id(300), Id(100), Id(200)]
+        );
+        assert_eq!(ring.successors_window(Id(100), 1), vec![Id(100)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in ring")]
+    fn successors_window_rejects_foreign_start() {
+        Ring::new(vec![Id(1)]).successors_window(Id(2), 1);
     }
 
     #[test]

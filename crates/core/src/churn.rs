@@ -142,6 +142,11 @@ impl ChurnNetwork {
         final_rounds: usize,
     ) -> Result<ChurnNetwork, ChordError> {
         assert!(n_peers >= 1);
+        assert!(
+            config.placement_mode == crate::config::PlacementMode::Independent,
+            "layered placement is supported on the static-network query paths \
+             (sequential, batched, engine), not under churn"
+        );
         let mut rng = DetRng::new(config.seed);
         let mut group_rng = rng.fork();
         let groups = HashGroups::generate(config.family, config.k, config.l, &mut group_rng);
@@ -437,6 +442,8 @@ impl ChurnNetwork {
                     let lat = (h + chain) as u64 * HOP_COST + svc;
                     self.resilience.breaker_short_circuits += 1;
                     self.resilience.hedge_hops += chain as u64;
+                    self.telemetry
+                        .counter_add("resilient.hedge_hops", chain as u64);
                     self.telemetry.counter_add("resilient.short_circuits", 1);
                     self.note_response(sub.0, svc, now);
                     self.latency_hist.record(lat);
@@ -461,6 +468,8 @@ impl ChurnNetwork {
                         if backup != owner {
                             self.resilience.hedges_fired += 1;
                             self.resilience.hedge_hops += bh as u64;
+                            self.telemetry
+                                .counter_add("resilient.hedge_hops", bh as u64);
                             self.telemetry.counter_add("resilient.hedges_fired", 1);
                             let bsvc = self.service_time(backup);
                             let alt_lat = delay + bh as u64 * HOP_COST + bsvc;
@@ -1249,6 +1258,8 @@ impl ChurnNetwork {
             match self.lookup_with_retry(origin, key, &mut wall) {
                 Ok((owner, h, attempts)) => {
                     hops.push(h);
+                    self.telemetry
+                        .counter_add("resilient.lookup.hops", h as u64);
                     owners.push(owner);
                     reached.push(ident);
                     attempts_total += attempts;

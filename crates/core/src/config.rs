@@ -34,6 +34,27 @@ pub enum Placement {
     Direct,
 }
 
+/// How a query's bucket set is laid out on the ring and reached.
+///
+/// Orthogonal to [`Placement`] (which maps one identifier to one
+/// position): the mode decides whether the `l` identifiers of a query
+/// are *independent* positions (one Chord lookup each — the paper's §4
+/// procedure) or *layered* into one arc keyed by a coarse anchor sketch,
+/// reachable with a single lookup plus a bounded successor-list walk
+/// (see `ars_chord::layered` and DESIGN.md §6d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// One placed position and one lookup per group identifier — the
+    /// default; bit-identical to the pre-layered query paths.
+    Independent,
+    /// All of a query's buckets co-located in the anchor's arc: one
+    /// lookup + a successor walk of at most
+    /// [`SystemConfig::walk_window`] peers serves every group's bucket,
+    /// and multi-probe candidates ([`SystemConfig::probes`]) are checked
+    /// at the visited peers for free.
+    Layered,
+}
+
 /// Full configuration of a [`crate::RangeSelectNetwork`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -58,6 +79,26 @@ pub struct SystemConfig {
     pub use_local_index: bool,
     /// Identifier → ring-position mapping.
     pub placement: Placement,
+    /// Bucket layout / lookup strategy (see [`PlacementMode`]). The
+    /// default `Independent` keeps every query path bit-identical to the
+    /// pre-layered system; `Layered` is the opt-in half-the-lookups mode,
+    /// supported on the static-network paths (sequential, batched, and
+    /// concurrent engine).
+    pub placement_mode: PlacementMode,
+    /// Multi-probe budget: extra ranked candidate identifiers
+    /// (`ars_lsh::probe`) checked at visited peers in layered mode. `0`
+    /// disables probing. Probe checks are local to peers a query already
+    /// reached — they cost no messages.
+    pub probes: usize,
+    /// Anchor sketch width (`L`) in layered mode: the anchor is the XOR
+    /// of `L` min-hashes, so similar ranges share an arc with probability
+    /// ≈ `J^L`. Small values gate less (higher recall, coarser
+    /// co-location); must be ≥ 1.
+    pub layers: usize,
+    /// Successor-walk bound in layered mode: after the single arc lookup,
+    /// at most this many peers (the first owner included) are visited
+    /// over existing successor links, one message per step. Must be ≥ 1.
+    pub walk_window: usize,
     /// Successor replication factor for cached partitions (`r`): each
     /// stored partition is placed at the first `r` alive successors of its
     /// placed identifier, so up to `r - 1` abrupt failures leave a copy
@@ -114,6 +155,10 @@ impl Default for SystemConfig {
             cache_on_miss: true,
             use_local_index: false,
             placement: Placement::Uniformized,
+            placement_mode: PlacementMode::Independent,
+            probes: 0,
+            layers: 1,
+            walk_window: 4,
             replication: 1,
             durability: None,
             ident_cache_capacity: 0,
@@ -181,6 +226,39 @@ impl SystemConfig {
     /// Builder-style: set the identifier placement policy.
     pub fn with_placement(mut self, placement: Placement) -> SystemConfig {
         self.placement = placement;
+        self
+    }
+
+    /// Builder-style: set the placement mode.
+    pub fn with_placement_mode(mut self, mode: PlacementMode) -> SystemConfig {
+        self.placement_mode = mode;
+        self
+    }
+
+    /// Builder-style: set the multi-probe budget (`0` = no probing).
+    pub fn with_probes(mut self, probes: usize) -> SystemConfig {
+        self.probes = probes;
+        self
+    }
+
+    /// Builder-style: set the layered-anchor sketch width.
+    ///
+    /// # Panics
+    /// Panics if `layers` is zero (the anchor needs at least one
+    /// min-hash).
+    pub fn with_layers(mut self, layers: usize) -> SystemConfig {
+        assert!(layers >= 1, "anchor sketch needs at least 1 layer");
+        self.layers = layers;
+        self
+    }
+
+    /// Builder-style: set the layered successor-walk bound.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero (the walk must visit the first owner).
+    pub fn with_walk_window(mut self, window: usize) -> SystemConfig {
+        assert!(window >= 1, "walk window must visit at least 1 peer");
+        self.walk_window = window;
         self
     }
 

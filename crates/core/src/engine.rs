@@ -64,10 +64,10 @@
 //! cache-counter sums, cache segments re-concatenated and re-trimmed,
 //! RNG advanced to stream 0's final state).
 
-use crate::config::SystemConfig;
+use crate::config::{PlacementMode, SystemConfig};
 use crate::network::{
-    commit_routed, place_identifier, IdentifierCache, NetworkStats, PeerAccess, QueryOutcome,
-    RangeSelectNetwork, StatsSink,
+    commit_layered, commit_routed, place_identifier, plan_layered, IdentifierCache, LayeredPlan,
+    NetworkStats, PeerAccess, QueryOutcome, RangeSelectNetwork, StatsSink,
 };
 use crate::peer::Peer;
 use crate::resilient::BASE_SERVICE;
@@ -312,14 +312,27 @@ struct Prepared {
     query: RangeSet,
     hashed: RangeSet,
     identifiers: Vec<u32>,
-    routes: Vec<(Id, usize)>,
+    plan: PreparedPlan,
     shards: Vec<usize>,
+}
+
+/// The routed form of a prepared query, one variant per placement mode.
+enum PreparedPlan {
+    /// Independent placement: one resolved route per identifier
+    /// (duplicates share the memoized route; the commit skips their
+    /// lookup).
+    Independent(Vec<(Id, usize)>),
+    /// Layered placement: the single arc lookup plus walk/candidate sets.
+    Layered(LayeredPlan),
 }
 
 /// The shared immutable context plus the shard array.
 struct EngineCore {
     config: SystemConfig,
     groups: HashGroups,
+    /// Anchor-sketch group for layered placement (unused under the
+    /// default independent mode).
+    anchors: HashGroups,
     ring: Ring,
     telemetry: Telemetry,
     nshards: usize,
@@ -365,6 +378,15 @@ impl StatsSink for ShardStats<'_> {
         stats.lookups += 1;
         stats.total_hops += hops as u64;
     }
+    fn on_dedup_saved(&mut self) {
+        self.shards[self.home].stats.lock().dedup_saved_lookups += 1;
+    }
+    fn on_walk(&mut self, steps: usize) {
+        self.shards[self.home].stats.lock().walk_steps += steps as u64;
+    }
+    fn on_probes(&mut self, count: usize) {
+        self.shards[self.home].stats.lock().probe_checks += count as u64;
+    }
     fn on_query(&mut self, matched: bool, exact: bool, stored: bool) {
         let mut stats = self.shards[self.home].stats.lock();
         stats.queries += 1;
@@ -405,6 +427,7 @@ impl EngineCore {
         EngineCore {
             config: net.config.clone(),
             groups: net.groups.clone(),
+            anchors: net.anchors.clone(),
             ring: net.ring.clone(),
             telemetry: net.telemetry.clone(),
             nshards,
@@ -470,24 +493,58 @@ impl EngineCore {
                 ids
             }
         };
-        let routes: Vec<(Id, usize)> = identifiers
-            .iter()
-            .map(|&ident| {
-                self.ring
-                    .lookup(origin, place_identifier(&self.config, ident))
-            })
-            .collect();
-        let mut shards: Vec<usize> = routes
-            .iter()
-            .map(|&(owner, _)| shard_of(owner.0, self.nshards))
-            .collect();
+        let (plan, mut shards) = match self.config.placement_mode {
+            PlacementMode::Independent => {
+                // Route each distinct identifier once (duplicates reuse
+                // the memoized route), mirroring the sequential path.
+                let mut memo: FxHashMap<u32, (Id, usize)> = FxHashMap::default();
+                let routes: Vec<(Id, usize)> = identifiers
+                    .iter()
+                    .map(|&ident| {
+                        *memo.entry(ident).or_insert_with(|| {
+                            self.ring
+                                .lookup(origin, place_identifier(&self.config, ident))
+                        })
+                    })
+                    .collect();
+                let shards: Vec<usize> = routes
+                    .iter()
+                    .map(|&(owner, _)| shard_of(owner.0, self.nshards))
+                    .collect();
+                (PreparedPlan::Independent(routes), shards)
+            }
+            PlacementMode::Layered => {
+                let plan = plan_layered(
+                    &self.config,
+                    &self.groups,
+                    &self.anchors,
+                    &self.ring,
+                    origin,
+                    &hashed,
+                    &identifiers,
+                );
+                // The commit touches every walked peer and every store
+                // target's owner.
+                let shards: Vec<usize> = plan
+                    .visited
+                    .iter()
+                    .map(|&id| shard_of(id.0, self.nshards))
+                    .chain(
+                        plan.store_targets
+                            .iter()
+                            .map(|&(_, owner)| shard_of(owner.0, self.nshards)),
+                    )
+                    .collect();
+                (PreparedPlan::Layered(plan), shards)
+            }
+        };
         shards.sort_unstable();
         shards.dedup();
         Prepared {
             query: q.clone(),
             hashed,
             identifiers,
-            routes,
+            plan,
             shards,
         }
     }
@@ -513,17 +570,30 @@ impl EngineCore {
             nshards: self.nshards,
             home: (seq % self.nshards as u64) as usize,
         };
-        commit_routed(
-            &self.config,
-            &self.telemetry,
-            &mut view,
-            &mut stats,
-            &prepared.query,
-            prepared.hashed,
-            prepared.identifiers,
-            prepared.routes,
-            false,
-        )
+        match prepared.plan {
+            PreparedPlan::Independent(routes) => commit_routed(
+                &self.config,
+                &self.telemetry,
+                &mut view,
+                &mut stats,
+                &prepared.query,
+                prepared.hashed,
+                prepared.identifiers,
+                routes,
+                false,
+            ),
+            PreparedPlan::Layered(plan) => commit_layered(
+                &self.config,
+                &self.telemetry,
+                &mut view,
+                &mut stats,
+                &prepared.query,
+                prepared.hashed,
+                prepared.identifiers,
+                plan,
+                false,
+            ),
+        }
     }
 
     /// Merge the shards back into `net`: peers union, per-shard stats and
@@ -1270,6 +1340,44 @@ mod tests {
                 inline.identifier_cache().misses(),
                 engine.identifier_cache().misses()
             );
+        }
+    }
+
+    #[test]
+    fn layered_engine_matches_layered_sequential() {
+        // One shard: the engine must reproduce the layered sequential
+        // path bit for bit, same as the independent-mode guarantee.
+        let layered = SystemConfig::default()
+            .with_seed(61)
+            .with_placement_mode(PlacementMode::Layered)
+            .with_probes(8);
+        let mut seq = RangeSelectNetwork::new(40, layered.clone());
+        let mut eng = RangeSelectNetwork::new(40, layered.clone());
+        let qs = trace();
+        let out_seq: Vec<QueryOutcome> = qs.iter().map(|q| seq.query(q)).collect();
+        let out_eng = eng.query_trace_sharded(&qs, 1);
+        assert_eq!(out_seq, out_eng);
+        assert_eq!(seq.stats(), eng.stats());
+        assert!(
+            seq.stats().walk_steps > 0,
+            "layered queries walk successors"
+        );
+
+        // Multi-shard, real worker pool: invariant against the inline
+        // sharded reference.
+        let reference = {
+            let mut net = RangeSelectNetwork::new(40, layered.clone());
+            net.query_trace_sharded(&qs, 4)
+        };
+        for workers in [1usize, 4] {
+            let mut net = RangeSelectNetwork::new(40, layered.clone());
+            let opts = EngineOptions {
+                shards: 4,
+                workers,
+                queue: 32,
+            };
+            let out = net.query_batch_concurrent_with(&qs, opts);
+            assert_eq!(reference, out, "workers {workers}");
         }
     }
 

@@ -49,7 +49,7 @@ pub mod resilient;
 pub use adaptive::{AdaptiveClient, AdaptivePadding};
 pub use bucket::Bucket;
 pub use churn::{ChurnNetwork, InventoryEntry, RepairRound};
-pub use config::{MatchMeasure, SystemConfig};
+pub use config::{MatchMeasure, PlacementMode, SystemConfig};
 pub use data::DataNetwork;
 pub use durable::DurabilityConfig;
 pub use engine::{Admission, AdmissionStats, EngineError, EngineOptions, QueryEngine, SubmitError};

@@ -7,9 +7,9 @@
 //! integration test holds equal to this one.
 
 use crate::bucket::Match;
-use crate::config::{Placement, SystemConfig};
+use crate::config::{Placement, PlacementMode, SystemConfig};
 use crate::peer::Peer;
-use ars_chord::{Id, Ring};
+use ars_chord::{arc_base, layered_position, Id, Ring};
 use ars_common::{DetRng, FxHashMap};
 use ars_lsh::{HashGroups, RangeSet};
 use ars_telemetry::Telemetry;
@@ -33,7 +33,10 @@ pub struct QueryOutcome {
     /// True if this query's partition was newly cached at the identifier
     /// owners.
     pub stored: bool,
-    /// Overlay hops of each of the `l` identifier lookups.
+    /// Overlay hops of each routed lookup: one entry per *distinct*
+    /// identifier under independent placement (duplicate identifiers
+    /// within a query are deduplicated before routing), a single entry —
+    /// the one arc lookup — under layered placement.
     pub hops: Vec<usize>,
     /// The `l` identifiers (diagnostics; shared identifiers across similar
     /// queries are the whole mechanism).
@@ -41,9 +44,12 @@ pub struct QueryOutcome {
     /// Number of distinct peers contacted.
     pub peers_contacted: usize,
     /// Total lookup attempts spent on this query, retries included. Equals
-    /// `identifiers.len()` on a healthy network; larger when the resilient
-    /// query path ([`crate::ChurnNetwork::query_resilient`]) had to route
-    /// around failures.
+    /// the number of *distinct* identifiers on a healthy network under
+    /// independent placement (duplicates are deduplicated before routing),
+    /// `1` under layered placement (the single arc lookup); larger when
+    /// the resilient query path
+    /// ([`crate::ChurnNetwork::query_resilient`]) had to route around
+    /// failures.
     pub attempts: usize,
     /// True if no identifier owner could be reached at all and the query
     /// degraded to fetching directly from the source relations — the
@@ -252,6 +258,17 @@ pub struct NetworkStats {
     pub lookups: u64,
     /// Total overlay hops across all lookups.
     pub total_hops: u64,
+    /// Lookups *not* routed because the identifier repeated within a
+    /// single query (two groups hashing a range to the same bucket) —
+    /// each one a saved message.
+    pub dedup_saved_lookups: u64,
+    /// Successor-walk steps taken by layered-placement queries (one
+    /// overlay message each; always zero under independent placement).
+    pub walk_steps: u64,
+    /// Multi-probe candidate buckets checked at already-visited peers
+    /// (local work, not messages; always zero under independent
+    /// placement).
+    pub probe_checks: u64,
 }
 
 impl NetworkStats {
@@ -266,6 +283,9 @@ impl NetworkStats {
         self.stored += other.stored;
         self.lookups += other.lookups;
         self.total_hops += other.total_hops;
+        self.dedup_saved_lookups += other.dedup_saved_lookups;
+        self.walk_steps += other.walk_steps;
+        self.probe_checks += other.probe_checks;
     }
 }
 
@@ -295,6 +315,13 @@ impl PeerAccess for FxHashMap<u32, Peer> {
 pub(crate) trait StatsSink {
     /// One identifier lookup routed in `hops` overlay hops to `owner`.
     fn on_lookup(&mut self, owner: Id, hops: usize);
+    /// One lookup skipped because its identifier repeated within the
+    /// query.
+    fn on_dedup_saved(&mut self);
+    /// `steps` successor-walk messages spent by a layered query.
+    fn on_walk(&mut self, steps: usize);
+    /// `count` multi-probe candidate buckets checked locally.
+    fn on_probes(&mut self, count: usize);
     /// One query finished.
     fn on_query(&mut self, matched: bool, exact: bool, stored: bool);
 }
@@ -303,6 +330,15 @@ impl StatsSink for NetworkStats {
     fn on_lookup(&mut self, _owner: Id, hops: usize) {
         self.lookups += 1;
         self.total_hops += hops as u64;
+    }
+    fn on_dedup_saved(&mut self) {
+        self.dedup_saved_lookups += 1;
+    }
+    fn on_walk(&mut self, steps: usize) {
+        self.walk_steps += steps as u64;
+    }
+    fn on_probes(&mut self, count: usize) {
+        self.probe_checks += count as u64;
     }
     fn on_query(&mut self, matched: bool, exact: bool, stored: bool) {
         self.queries += 1;
@@ -363,11 +399,21 @@ pub(crate) fn commit_routed<P: PeerAccess, S: StatsSink>(
     // panicking; the outcome records whether *any* owner was reachable.
     let mut hops = Vec::with_capacity(identifiers.len());
     let mut owners = Vec::with_capacity(identifiers.len());
+    let mut routed_idents: Vec<u32> = Vec::with_capacity(identifiers.len());
     let mut reached = 0usize;
     let mut best: Option<Match> = None;
     for (&ident, &(owner, h)) in identifiers.iter().zip(&routes) {
-        hops.push(h);
         owners.push(owner);
+        if routed_idents.contains(&ident) {
+            // Two groups hashed the range to the same bucket: that bucket
+            // was already routed and matched this query, so a second
+            // lookup would be a pure waste — skip it and count the save.
+            stats.on_dedup_saved();
+            telemetry.counter_add("core.dedup.saved_lookups", 1);
+            continue;
+        }
+        routed_idents.push(ident);
+        hops.push(h);
         stats.on_lookup(owner, h);
         telemetry.record("core.lookup.hops", h as u64);
         let Some(peer) = peers.peer(owner.0) else {
@@ -448,7 +494,7 @@ pub(crate) fn commit_routed<P: PeerAccess, S: StatsSink>(
         );
     }
 
-    let attempts = identifiers.len();
+    let attempts = routed_idents.len();
     QueryOutcome {
         query: q.clone(),
         best_match,
@@ -465,6 +511,250 @@ pub(crate) fn commit_routed<P: PeerAccess, S: StatsSink>(
     }
 }
 
+/// Generate the anchor-sketch hash group for a config: one group of
+/// `config.layers` min-hashes, from an RNG salted off the system seed.
+/// The salt keeps the anchor draw out of the sequences the groups and
+/// query path consume — constructing a network with layered placement
+/// available must not move a single bit of the default paths.
+pub(crate) fn anchor_groups(config: &SystemConfig) -> HashGroups {
+    const ANCHOR_SALT: u64 = 0x6172_735F_6172_6373; // "ars_arcs"
+    let mut rng = DetRng::new(config.seed ^ ANCHOR_SALT);
+    HashGroups::generate(config.family, config.layers, 1, &mut rng)
+}
+
+/// The anchor sketch of a hashed range: the single coarse identifier
+/// (`SystemConfig::layers` min-hashes XOR-folded) that keys the arc all
+/// of the query's buckets live in under layered placement. Similar
+/// ranges share it with probability ≈ `J^layers`.
+pub(crate) fn layered_anchor(anchors: &HashGroups, hashed_range: &RangeSet) -> u32 {
+    anchors.identifiers(hashed_range)[0]
+}
+
+/// A fully-resolved layered query: the one arc lookup, the peers the
+/// bounded successor walk visits, and every candidate bucket to check at
+/// them. Pure data — planning (reads the immutable ring) is separated
+/// from committing (mutates peers/stats) so the batch and engine paths
+/// can plan in parallel and commit in order, exactly like
+/// [`commit_routed`]'s routes.
+#[derive(Debug, Clone)]
+pub(crate) struct LayeredPlan {
+    /// `(first arc owner, hops)` of the single `arc_base` lookup.
+    pub(crate) route: (Id, usize),
+    /// Peers the walk visits: the first owner plus at most
+    /// `walk_window − 1` successors (one overlay message per step).
+    pub(crate) visited: Vec<Id>,
+    /// Candidate bucket identifiers checked at every visited peer: the
+    /// distinct base identifiers first, then ranked multi-probe
+    /// candidates.
+    pub(crate) candidates: Vec<u32>,
+    /// How many of `candidates` are base identifiers (the prefix).
+    pub(crate) base_count: usize,
+    /// Cache-on-miss targets: each distinct base identifier and the true
+    /// owner of its layered position.
+    pub(crate) store_targets: Vec<(u32, Id)>,
+}
+
+/// Plan a layered query end to end: anchor → one arc lookup → walk and
+/// candidate sets. Pure (the ring is immutable).
+pub(crate) fn plan_layered(
+    config: &SystemConfig,
+    groups: &HashGroups,
+    anchors: &HashGroups,
+    ring: &Ring,
+    origin: Id,
+    hashed_range: &RangeSet,
+    identifiers: &[u32],
+) -> LayeredPlan {
+    let anchor = layered_anchor(anchors, hashed_range);
+    let route = ring.lookup(origin, arc_base(anchor));
+    plan_layered_routed(
+        config,
+        groups,
+        ring,
+        route,
+        anchor,
+        hashed_range,
+        identifiers,
+    )
+}
+
+/// The post-routing half of layered planning — the batch path resolves
+/// the arc lookup in its parallel routing phase and feeds it in here.
+pub(crate) fn plan_layered_routed(
+    config: &SystemConfig,
+    groups: &HashGroups,
+    ring: &Ring,
+    route: (Id, usize),
+    anchor: u32,
+    hashed_range: &RangeSet,
+    identifiers: &[u32],
+) -> LayeredPlan {
+    let visited = ring.successors_window(route.0, config.walk_window);
+    let mut candidates: Vec<u32> = Vec::with_capacity(identifiers.len() + config.probes);
+    for &ident in identifiers {
+        if !candidates.contains(&ident) {
+            candidates.push(ident);
+        }
+    }
+    let base_count = candidates.len();
+    if config.probes > 0 {
+        for c in groups.probe_candidates(hashed_range, config.probes) {
+            if !candidates.contains(&c.identifier) {
+                candidates.push(c.identifier);
+            }
+        }
+    }
+    let store_targets = candidates[..base_count]
+        .iter()
+        .map(|&ident| (ident, ring.successor_of(layered_position(anchor, ident))))
+        .collect();
+    LayeredPlan {
+        route,
+        visited,
+        candidates,
+        base_count,
+        store_targets,
+    }
+}
+
+/// The commit half of a layered query — the [`commit_routed`] analogue:
+/// one lookup's hops, a successor walk, candidate matching at every
+/// visited peer, cache-on-miss at the layered owners. Same
+/// [`PeerAccess`]/[`StatsSink`] seam, so the sequential, batched, and
+/// concurrent-engine paths share this one body of code.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit_layered<P: PeerAccess, S: StatsSink>(
+    config: &SystemConfig,
+    telemetry: &Telemetry,
+    peers: &mut P,
+    stats: &mut S,
+    q: &RangeSet,
+    hashed_range: RangeSet,
+    identifiers: Vec<u32>,
+    plan: LayeredPlan,
+    emit_span: bool,
+) -> QueryOutcome {
+    let span = if emit_span {
+        Some(telemetry.span("core.query", &[("l", identifiers.len().into())]))
+    } else {
+        None
+    };
+
+    let (first_owner, h) = plan.route;
+    stats.on_lookup(first_owner, h);
+    telemetry.record("core.lookup.hops", h as u64);
+    let walk_steps = plan.visited.len().saturating_sub(1);
+    if walk_steps > 0 {
+        stats.on_walk(walk_steps);
+        telemetry.counter_add("core.walk.steps", walk_steps as u64);
+    }
+    let probe_checks = plan.candidates.len() - plan.base_count;
+    if probe_checks > 0 {
+        stats.on_probes(probe_checks);
+        telemetry.counter_add("core.probe.checks", probe_checks as u64);
+    }
+
+    let mut reached = 0usize;
+    let mut best: Option<Match> = None;
+    for &peer_id in &plan.visited {
+        let Some(peer) = peers.peer(peer_id.0) else {
+            continue;
+        };
+        reached += 1;
+        let scan_len = if config.use_local_index {
+            peer.partition_count()
+        } else {
+            plan.candidates
+                .iter()
+                .map(|&c| peer.bucket(c).map(|b| b.len()).unwrap_or(0))
+                .sum()
+        };
+        telemetry.record("core.bucket.scan_len", scan_len as u64);
+        let mut consider = |m: Match| {
+            let better = match &best {
+                None => true,
+                Some(b) => m.score > b.score,
+            };
+            if better {
+                best = Some(m);
+            }
+        };
+        if config.use_local_index {
+            if let Some(m) = peer.best_across_buckets(&hashed_range, config.matching) {
+                consider(m);
+            }
+        } else {
+            for &ident in &plan.candidates {
+                if let Some(m) = peer.best_in_bucket(ident, &hashed_range, config.matching) {
+                    consider(m);
+                }
+            }
+        }
+    }
+
+    let exact = best
+        .as_ref()
+        .map(|m| m.range == hashed_range)
+        .unwrap_or(false);
+
+    // Cache on miss: store the (padded) partition at the layered owners
+    // of the base identifiers, so later similar queries find it inside
+    // the same arc.
+    let mut stored = false;
+    if config.cache_on_miss && !exact {
+        for &(ident, owner) in &plan.store_targets {
+            if let Some(peer) = peers.peer_mut(owner.0) {
+                stored |= peer.store(ident, hashed_range.clone());
+            }
+        }
+    }
+
+    let (similarity, recall, best_match) = match &best {
+        Some(m) => (
+            q.jaccard(&m.range),
+            q.containment_in(&m.range),
+            Some(m.range.clone()),
+        ),
+        None => (0.0, 0.0, None),
+    };
+
+    stats.on_query(best_match.is_some(), exact, stored);
+
+    telemetry.counter_add("core.queries", 1);
+    if best_match.is_some() {
+        telemetry.record("core.query.jaccard", (similarity * 1000.0) as u64);
+        telemetry.record("core.query.recall", (recall * 1000.0) as u64);
+    }
+    if let Some(span) = span {
+        telemetry.span_end(
+            span,
+            &[
+                ("matched", best_match.is_some().into()),
+                ("exact", exact.into()),
+                ("stored", stored.into()),
+                ("similarity", similarity.into()),
+                ("recall", recall.into()),
+                ("fallback", (reached == 0).into()),
+            ],
+        );
+    }
+
+    QueryOutcome {
+        query: q.clone(),
+        best_match,
+        similarity,
+        recall,
+        exact,
+        stored,
+        hops: vec![h],
+        identifiers,
+        peers_contacted: plan.visited.len(),
+        attempts: 1,
+        fell_back_to_source: reached == 0,
+        partition_degraded: false,
+    }
+}
+
 /// The full simulated system.
 #[derive(Debug, Clone)]
 pub struct RangeSelectNetwork {
@@ -472,6 +762,12 @@ pub struct RangeSelectNetwork {
     pub(crate) ring: Ring,
     pub(crate) peers: FxHashMap<u32, Peer>,
     pub(crate) groups: HashGroups,
+    /// The anchor-sketch hash group (one group of `layers` min-hashes)
+    /// layered placement keys arcs with. Drawn from a *salted* RNG, fully
+    /// decoupled from `rng`/`groups`, so the default independent paths
+    /// consume exactly the pre-layered random sequences (pinned by the
+    /// placement goldens).
+    pub(crate) anchors: HashGroups,
     pub(crate) rng: DetRng,
     pub(crate) stats: NetworkStats,
     pub(crate) ident_cache: IdentifierCache,
@@ -508,6 +804,7 @@ impl RangeSelectNetwork {
         rng: DetRng,
     ) -> RangeSelectNetwork {
         let groups = HashGroups::generate(config.family, config.k, config.l, group_rng);
+        let anchors = anchor_groups(&config);
         let peers = ring
             .node_ids()
             .iter()
@@ -522,6 +819,7 @@ impl RangeSelectNetwork {
             ring,
             peers,
             groups,
+            anchors,
             rng,
             stats: NetworkStats::default(),
             ident_cache,
@@ -542,11 +840,13 @@ impl RangeSelectNetwork {
         rng: DetRng,
     ) -> RangeSelectNetwork {
         let ident_cache = IdentifierCache::with_capacity(config.ident_cache_capacity);
+        let anchors = anchor_groups(&config);
         RangeSelectNetwork {
             config,
             ring,
             peers,
             groups,
+            anchors,
             rng,
             stats: NetworkStats::default(),
             ident_cache,
@@ -700,11 +1000,45 @@ impl RangeSelectNetwork {
             let ids = self.ring.node_ids();
             ids[self.rng.gen_index(ids.len())]
         };
-        let routes: Vec<(Id, usize)> = identifiers
-            .iter()
-            .map(|&ident| self.ring.lookup(origin, self.place(ident)))
-            .collect();
-        self.finish_query_routed(q, hashed_range, identifiers, routes)
+        match self.config.placement_mode {
+            PlacementMode::Independent => {
+                // Route each *distinct* identifier once; duplicates reuse
+                // the resolved route (commit skips their lookup too).
+                let mut memo: FxHashMap<u32, (Id, usize)> = FxHashMap::default();
+                let routes: Vec<(Id, usize)> = identifiers
+                    .iter()
+                    .map(|&ident| {
+                        *memo.entry(ident).or_insert_with(|| {
+                            self.ring
+                                .lookup(origin, place_identifier(&self.config, ident))
+                        })
+                    })
+                    .collect();
+                self.finish_query_routed(q, hashed_range, identifiers, routes)
+            }
+            PlacementMode::Layered => {
+                let plan = plan_layered(
+                    &self.config,
+                    &self.groups,
+                    &self.anchors,
+                    &self.ring,
+                    origin,
+                    &hashed_range,
+                    &identifiers,
+                );
+                commit_layered(
+                    &self.config,
+                    &self.telemetry,
+                    &mut self.peers,
+                    &mut self.stats,
+                    q,
+                    hashed_range,
+                    identifiers,
+                    plan,
+                    true,
+                )
+            }
+        }
     }
 
     /// The commit half of a query: matching, caching, stats — with routing
@@ -786,35 +1120,103 @@ impl RangeSelectNetwork {
             .map(|_| node_ids[self.rng.gen_index(node_ids.len())])
             .collect();
 
-        // Phase 2b: resolve every distinct (origin, identifier) route once,
-        // in parallel, against the immutable ring.
-        let mut job_of: FxHashMap<(u32, u32), usize> = FxHashMap::default();
-        let mut jobs: Vec<(Id, Id)> = Vec::new();
-        for (origin, ids) in origins.iter().zip(&ids_per_query) {
-            for &ident in ids {
-                job_of.entry((origin.0, ident)).or_insert_with(|| {
-                    jobs.push((*origin, self.place(ident)));
-                    jobs.len() - 1
-                });
-            }
-        }
-        let routed = self.route_jobs_parallel(&jobs);
-        let t2 = std::time::Instant::now();
+        // Phase 2b: resolve every distinct routing job once, in parallel,
+        // against the immutable ring — per (origin, identifier) under
+        // independent placement, per (origin, arc) under layered placement
+        // (co-location collapses a whole query, and often several queries,
+        // into one job).
+        let t2;
+        let outcomes = match self.config.placement_mode {
+            PlacementMode::Independent => {
+                let mut job_of: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+                let mut jobs: Vec<(Id, Id)> = Vec::new();
+                for (origin, ids) in origins.iter().zip(&ids_per_query) {
+                    for &ident in ids {
+                        job_of.entry((origin.0, ident)).or_insert_with(|| {
+                            jobs.push((*origin, self.place(ident)));
+                            jobs.len() - 1
+                        });
+                    }
+                }
+                let routed = self.route_jobs_parallel(&jobs);
+                t2 = std::time::Instant::now();
 
-        // Phase 3: sequential commit in trace order.
-        let outcomes = queries
-            .iter()
-            .zip(hashed)
-            .zip(origins)
-            .zip(ids_per_query)
-            .map(|(((q, h), origin), ids)| {
-                let routes: Vec<(Id, usize)> = ids
+                // Phase 3: sequential commit in trace order.
+                queries
                     .iter()
-                    .map(|&ident| routed[job_of[&(origin.0, ident)]])
-                    .collect();
-                self.finish_query_routed(q, h, ids, routes)
-            })
-            .collect();
+                    .zip(hashed)
+                    .zip(origins)
+                    .zip(ids_per_query)
+                    .map(|(((q, h), origin), ids)| {
+                        let routes: Vec<(Id, usize)> = ids
+                            .iter()
+                            .map(|&ident| routed[job_of[&(origin.0, ident)]])
+                            .collect();
+                        self.finish_query_routed(q, h, ids, routes)
+                    })
+                    .collect()
+            }
+            PlacementMode::Layered => {
+                // Anchors are pure functions of the hashed range — memoize
+                // per distinct range, then route one arc lookup per
+                // distinct (origin, arc) pair.
+                let anchor_vals: Vec<u32> = {
+                    let mut memo: FxHashMap<&RangeSet, u32> = FxHashMap::default();
+                    hashed
+                        .iter()
+                        .map(|h| {
+                            *memo
+                                .entry(h)
+                                .or_insert_with(|| layered_anchor(&self.anchors, h))
+                        })
+                        .collect()
+                };
+                let mut job_of: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+                let mut jobs: Vec<(Id, Id)> = Vec::new();
+                for (origin, &anchor) in origins.iter().zip(&anchor_vals) {
+                    let base = arc_base(anchor);
+                    job_of.entry((origin.0, base.0)).or_insert_with(|| {
+                        jobs.push((*origin, base));
+                        jobs.len() - 1
+                    });
+                }
+                let routed = self.route_jobs_parallel(&jobs);
+                t2 = std::time::Instant::now();
+
+                // Phase 3: sequential commit in trace order.
+                let mut outs = Vec::with_capacity(queries.len());
+                for (i, (q, (h, ids))) in queries
+                    .iter()
+                    .zip(hashed.into_iter().zip(ids_per_query))
+                    .enumerate()
+                {
+                    let origin = origins[i];
+                    let anchor = anchor_vals[i];
+                    let route = routed[job_of[&(origin.0, arc_base(anchor).0)]];
+                    let plan = plan_layered_routed(
+                        &self.config,
+                        &self.groups,
+                        &self.ring,
+                        route,
+                        anchor,
+                        &h,
+                        &ids,
+                    );
+                    outs.push(commit_layered(
+                        &self.config,
+                        &self.telemetry,
+                        &mut self.peers,
+                        &mut self.stats,
+                        q,
+                        h,
+                        ids,
+                        plan,
+                        true,
+                    ));
+                }
+                outs
+            }
+        };
         let timings = BatchTimings {
             hash_secs: (t1 - t0).as_secs_f64(),
             route_secs: (t2 - t1).as_secs_f64(),
@@ -995,9 +1397,17 @@ impl RangeSelectNetwork {
     /// owner without storage state is skipped, never a panic).
     pub fn store_partition(&mut self, range: &RangeSet) -> usize {
         let identifiers = self.groups.identifiers(range);
+        let anchor = match self.config.placement_mode {
+            PlacementMode::Independent => None,
+            PlacementMode::Layered => Some(layered_anchor(&self.anchors, range)),
+        };
         let mut placed = 0;
         for ident in identifiers {
-            let owner = self.ring.successor_of(self.place(ident));
+            let pos = match anchor {
+                None => self.place(ident),
+                Some(a) => layered_position(a, ident),
+            };
+            let owner = self.ring.successor_of(pos);
             if let Some(peer) = self.peers.get_mut(&owner.0) {
                 placed += peer.store(ident, range.clone()) as usize;
             }
@@ -1143,8 +1553,21 @@ mod tests {
         let s = n.stats();
         assert_eq!(s.queries, 2);
         assert_eq!(s.exact, 1);
-        assert_eq!(s.lookups, 10);
+        // r(0,10) is narrow enough that all 5 groups hash it to one
+        // identifier — the within-query dedup routes it once and books
+        // the other 4 as saved lookups.
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.dedup_saved_lookups, 8);
         assert!(s.matched >= 1);
+    }
+
+    #[test]
+    fn wide_query_still_routes_five_lookups() {
+        let mut n = net(20);
+        let out = n.query(&r(30, 50));
+        assert_eq!(out.hops.len(), 5, "distinct identifiers all routed");
+        assert_eq!(n.stats().lookups, 5);
+        assert_eq!(n.stats().dedup_saved_lookups, 0);
     }
 
     #[test]
@@ -1382,5 +1805,116 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn query_batch_rejects_empty_range() {
         net(5).query_batch(&[RangeSet::empty()]);
+    }
+
+    fn layered_config(seed: u64) -> SystemConfig {
+        SystemConfig::default()
+            .with_seed(seed)
+            .with_placement_mode(PlacementMode::Layered)
+            .with_probes(16)
+    }
+
+    #[test]
+    fn layered_query_spends_one_lookup() {
+        let mut n = RangeSelectNetwork::new(48, layered_config(3));
+        let out = n.query(&r(30, 50));
+        assert_eq!(out.hops.len(), 1, "layered = one arc lookup");
+        assert_eq!(out.attempts, 1);
+        assert!(out.peers_contacted <= n.config().walk_window);
+        let s = n.stats();
+        assert_eq!(s.lookups, 1);
+        assert!((s.walk_steps as usize) < n.config().walk_window);
+        assert!(s.probe_checks > 0, "probe budget 16 generates candidates");
+        assert_eq!(s.dedup_saved_lookups, 0);
+    }
+
+    #[test]
+    fn layered_exact_repeat_found_in_arc() {
+        let mut n = RangeSelectNetwork::new(48, layered_config(5));
+        n.query(&r(30, 50));
+        let out = n.query(&r(30, 50));
+        assert!(out.exact, "repeat query must find its own cached partition");
+        assert_eq!(out.recall, 1.0);
+    }
+
+    #[test]
+    fn layered_store_partition_found_by_query() {
+        // Direct stores land at the layered positions, where queries look.
+        let mut n = RangeSelectNetwork::new(48, layered_config(9).with_cache_on_miss(false));
+        n.store_partition(&r(100, 200));
+        let out = n.query(&r(100, 200));
+        assert!(out.exact, "stored partition must be visible in its arc");
+    }
+
+    #[test]
+    fn layered_usually_finds_jittered_neighbor() {
+        // Same regime as similar_query_usually_finds_neighbor: [30,50]
+        // cached, [30,49] queried (J ≈ 0.95). Layered adds the anchor
+        // gate (≈ J at layers=1); multi-probe recovers base-identifier
+        // misses at the visited peers.
+        let mut hits = 0;
+        for seed in 0..10 {
+            let mut n = RangeSelectNetwork::new(48, layered_config(seed));
+            n.query(&r(30, 50));
+            let out = n.query(&r(30, 49));
+            if out.best_match == Some(r(30, 50)) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits >= 6,
+            "only {hits}/10 near-identical layered queries matched"
+        );
+    }
+
+    #[test]
+    fn layered_batch_identical_to_sequential() {
+        for capacity in [0usize, 3] {
+            let config = layered_config(42)
+                .with_padding(0.1)
+                .with_ident_cache_capacity(capacity);
+            let mut seq = RangeSelectNetwork::new(40, config.clone());
+            let mut bat = RangeSelectNetwork::new(40, config);
+            let trace = batch_trace();
+            let out_seq: Vec<QueryOutcome> = trace.iter().map(|q| seq.query(q)).collect();
+            let out_bat = bat.query_batch(&trace);
+            assert_eq!(out_seq, out_bat, "capacity {capacity}");
+            assert_eq!(seq.stats(), bat.stats());
+            assert_eq!(seq.total_partitions(), bat.total_partitions());
+            assert_eq!(seq.identifier_cache().hits(), bat.identifier_cache().hits());
+            assert_eq!(
+                seq.identifier_cache().misses(),
+                bat.identifier_cache().misses()
+            );
+        }
+    }
+
+    #[test]
+    fn commit_routed_dedups_repeated_identifiers() {
+        // Two groups hashing to the same bucket: one lookup, one saved.
+        let config = SystemConfig::default();
+        let tel = Telemetry::noop();
+        let mut peers: FxHashMap<u32, Peer> =
+            [(100u32, Peer::new(Id(100))), (200u32, Peer::new(Id(200)))]
+                .into_iter()
+                .collect();
+        let mut stats = NetworkStats::default();
+        let q = r(0, 10);
+        let out = commit_routed(
+            &config,
+            &tel,
+            &mut peers,
+            &mut stats,
+            &q,
+            q.clone(),
+            vec![7, 7, 9],
+            vec![(Id(100), 2), (Id(100), 2), (Id(200), 3)],
+            false,
+        );
+        assert_eq!(out.hops, vec![2, 3], "duplicate identifier not re-routed");
+        assert_eq!(out.attempts, 2);
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.total_hops, 5);
+        assert_eq!(stats.dedup_saved_lookups, 1);
     }
 }

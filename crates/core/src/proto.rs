@@ -388,6 +388,10 @@ impl ProtoNetwork {
     /// ring, the hash groups and the per-query origin choice line up
     /// exactly with the direct-call rendition.
     pub fn new(n_peers: usize, config: SystemConfig) -> ProtoNetwork {
+        assert!(
+            config.placement_mode == crate::config::PlacementMode::Independent,
+            "the message-passing rendition models independent placement only"
+        );
         let mut rng = DetRng::new(config.seed);
         let mut group_rng = rng.fork();
         let ring_seed = rng.next_u64();
@@ -515,10 +519,17 @@ impl ProtoNetwork {
             self.rng.gen_index(ids.len())
         };
 
-        // Fire one FindMatch per identifier.
+        // Fire one FindMatch per *distinct* identifier — the direct
+        // path's within-query dedup, mirrored: a duplicate would route
+        // to the same owner and return the same reply.
         let base_request = self.next_request;
-        for (j, &ident) in identifiers.iter().enumerate() {
-            let request = base_request + j as u64;
+        let mut routed: Vec<u32> = Vec::with_capacity(identifiers.len());
+        for &ident in &identifiers {
+            if routed.contains(&ident) {
+                continue;
+            }
+            let request = base_request + routed.len() as u64;
+            routed.push(ident);
             self.net.inject(
                 origin_idx,
                 origin_idx,
@@ -534,7 +545,7 @@ impl ProtoNetwork {
                 },
             );
         }
-        self.next_request += identifiers.len() as u64;
+        self.next_request += routed.len() as u64;
         self.net.run(u64::MAX);
 
         // Collect the l replies for this batch.
@@ -551,7 +562,7 @@ impl ProtoNetwork {
         if !self.lossy {
             assert_eq!(
                 replies.len(),
-                identifiers.len(),
+                routed.len(),
                 "every FindMatch must be answered on a lossless transport"
             );
         }
@@ -609,7 +620,7 @@ impl ProtoNetwork {
             None => (0.0, 0.0, None),
         };
         let hops: Vec<usize> = replies.iter().map(|r| r.hops as usize).collect();
-        let attempts = identifiers.len();
+        let attempts = routed.len();
         // With every reply lost (possible only under faults), the origin
         // would fall back to fetching from the source relations.
         let fell_back_to_source = replies.is_empty();
@@ -722,9 +733,15 @@ impl ThreadedProtoNetwork {
         let identifiers = self.groups.identifiers(&hashed_range);
         let origin_idx = self.rng.gen_index(self.info.ring.node_ids().len());
 
+        // One FindMatch per *distinct* identifier, as in [`ProtoNetwork`].
         let base_request = self.next_request;
-        for (j, &ident) in identifiers.iter().enumerate() {
-            let request = base_request + j as u64;
+        let mut routed: Vec<u32> = Vec::with_capacity(identifiers.len());
+        for &ident in &identifiers {
+            if routed.contains(&ident) {
+                continue;
+            }
+            let request = base_request + routed.len() as u64;
+            routed.push(ident);
             self.net.inject(
                 origin_idx,
                 origin_idx,
@@ -740,7 +757,7 @@ impl ThreadedProtoNetwork {
                 },
             );
         }
-        self.next_request += identifiers.len() as u64;
+        self.next_request += routed.len() as u64;
         assert!(
             self.net
                 .await_quiescence(std::time::Duration::from_secs(30)),
@@ -756,7 +773,7 @@ impl ThreadedProtoNetwork {
         replies.sort_by_key(|r| r.request);
         assert_eq!(
             replies.len(),
-            identifiers.len(),
+            routed.len(),
             "every FindMatch must be answered"
         );
 
@@ -814,7 +831,7 @@ impl ThreadedProtoNetwork {
             None => (0.0, 0.0, None),
         };
         let hops: Vec<usize> = replies.iter().map(|r| r.hops as usize).collect();
-        let attempts = identifiers.len();
+        let attempts = routed.len();
         QueryOutcome {
             query: q.clone(),
             best_match,

@@ -190,6 +190,21 @@ impl CompiledGroup {
         }
     }
 
+    /// The per-function min-hash vector of `q` — the `k` coordinates whose
+    /// XOR is [`CompiledGroup::identifier`]. Multi-probe candidate
+    /// generation ([`crate::probe`]) compares these vectors across
+    /// perturbed evaluations of the same range to find the least-stable
+    /// coordinates.
+    ///
+    /// # Panics
+    /// Panics if `q` is empty.
+    pub fn mins(&self, q: &RangeSet) -> Vec<u32> {
+        assert!(!q.is_empty(), "min-hashes of an empty range set");
+        let mut mins = vec![u32::MAX; self.k()];
+        self.mins_into(q, &mut mins);
+        mins
+    }
+
     /// Advance `mins[f] = min(mins[f], min-hash of fn f over q)` for all
     /// functions, walking the decomposition once.
     fn mins_into(&self, q: &RangeSet, mins: &mut [u32]) {

@@ -48,6 +48,7 @@ pub mod group;
 pub mod grp;
 pub mod linear;
 pub mod minwise;
+pub mod probe;
 pub mod range;
 pub mod rangeaware;
 
@@ -57,5 +58,6 @@ pub use fused::CompiledGroup;
 pub use group::{match_probability, HashGroups};
 pub use linear::LinearPerm;
 pub use minwise::MinWisePerm;
+pub use probe::ProbeCandidate;
 pub use range::RangeSet;
 pub use rangeaware::RangeAwareBitPerm;

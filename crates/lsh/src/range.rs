@@ -234,6 +234,26 @@ impl RangeSet {
         }))
     }
 
+    /// Contract every interval by `frac` of its width on each edge — the
+    /// inward counterpart of [`RangeSet::pad`], used by multi-probe
+    /// candidate generation to re-evaluate the min-hashes on slightly
+    /// perturbed boundaries. Intervals that would vanish are dropped; the
+    /// result may be empty.
+    pub fn shrink(&self, frac: f64) -> RangeSet {
+        assert!(frac >= 0.0, "shrink fraction must be non-negative");
+        if frac == 0.0 {
+            return self.clone();
+        }
+        RangeSet::from_intervals(self.intervals.iter().filter_map(|&(lo, hi)| {
+            let width = (hi - lo) as u64 + 1;
+            let cut = (width as f64 * frac).round() as u64;
+            let new_lo = (lo as u64).saturating_add(cut);
+            let new_hi = (hi as u64).saturating_sub(cut);
+            (new_lo <= new_hi && new_hi <= u32::MAX as u64)
+                .then_some((new_lo as u32, new_hi as u32))
+        }))
+    }
+
     /// True if every value of `self` is contained in `other`.
     pub fn is_subset_of(&self, other: &RangeSet) -> bool {
         self.intersection_len(other) == self.len()

@@ -222,11 +222,68 @@ impl MetricsSnapshot {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
+
+    /// Total overlay messages the recorded workload spent, derived from
+    /// the standard core/resilient instrumentation: routed lookup hops
+    /// (`core.lookup.hops` histogram sum on the static paths,
+    /// `resilient.lookup.hops` counter under churn), layered-placement
+    /// successor-walk steps (`core.walk.steps`), backup-route hops spent
+    /// hedging or short-circuiting slow peers (`resilient.hedge_hops`),
+    /// and fault-detection probe pings (`resilient.probes`). Multi-probe
+    /// bucket checks are *not* messages — they happen locally at peers a
+    /// query already visited — and are deliberately absent.
+    ///
+    /// Bench binaries should use this (or [`Self::messages_per_query`])
+    /// instead of re-deriving the sum by hand from raw counters.
+    pub fn total_messages(&self) -> u64 {
+        self.hist("core.lookup.hops").map(|h| h.sum).unwrap_or(0)
+            + self.counter("core.walk.steps")
+            + self.counter("resilient.lookup.hops")
+            + self.counter("resilient.hedge_hops")
+            + self.counter("resilient.probes")
+    }
+
+    /// Overlay messages per executed query: [`Self::total_messages`] over
+    /// the queries recorded on either query path (`core.queries`,
+    /// `resilient.queries`). `0.0` before any query ran.
+    pub fn messages_per_query(&self) -> f64 {
+        let queries = self.counter("core.queries") + self.counter("resilient.queries");
+        if queries == 0 {
+            0.0
+        } else {
+            self.total_messages() as f64 / queries as f64
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn messages_per_query_derives_from_standard_instrumentation() {
+        let mut r = Registry::default();
+        r.record("core.lookup.hops", 3);
+        r.record("core.lookup.hops", 4);
+        r.counter_add("core.walk.steps", 5);
+        r.counter_add("resilient.lookup.hops", 2);
+        r.counter_add("resilient.hedge_hops", 1);
+        r.counter_add("resilient.probes", 6);
+        r.counter_add("core.queries", 2);
+        r.counter_add("resilient.queries", 1);
+        // Local probe checks are not messages and must not count.
+        r.counter_add("core.probe.checks", 100);
+        let s = r.snapshot();
+        assert_eq!(s.total_messages(), 3 + 4 + 5 + 2 + 1 + 6);
+        assert!((s.messages_per_query() - 21.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn messages_per_query_zero_without_queries() {
+        let s = Registry::default().snapshot();
+        assert_eq!(s.total_messages(), 0);
+        assert_eq!(s.messages_per_query(), 0.0);
+    }
 
     #[test]
     fn counter_accumulates() {

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use ars_core::{
         Admission, AdmissionStats, BatchTimings, BreakerConfig, BreakerState, ChurnNetwork,
         CircuitBreaker, DataNetwork, DurabilityConfig, EngineOptions, FailureDetector, HedgePolicy,
-        MatchMeasure, ProtoNetwork, QueryEngine, QueryOutcome, RangeSelectNetwork, RepairRound,
-        ResilienceStats, RetryPolicy, SubmitError, SystemConfig,
+        MatchMeasure, PlacementMode, ProtoNetwork, QueryEngine, QueryOutcome, RangeSelectNetwork,
+        RepairRound, ResilienceStats, RetryPolicy, SubmitError, SystemConfig,
     };
     pub use ars_lsh::{HashGroups, LshFamilyKind, RangeSet};
     pub use ars_relation::{

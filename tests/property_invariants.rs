@@ -207,6 +207,105 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Multi-probe candidate sequences are prefix-closed: a smaller
+    /// budget returns exactly the first entries of a larger budget's
+    /// ranking, so raising the budget only ever *adds* candidates (the
+    /// superset property recall monotonicity rests on).
+    #[test]
+    fn probe_candidates_are_prefix_closed(
+        (q, _) in range_set_strategy(),
+        seed in any::<u64>(),
+        small in 0usize..24,
+        extra in 1usize..40,
+    ) {
+        prop_assume!(!q.is_empty());
+        let mut rng = DetRng::new(seed);
+        let groups = HashGroups::generate(LshFamilyKind::ApproxMinWise, 8, 4, &mut rng);
+        let big = groups.probe_candidates(&q, small + extra);
+        let little = groups.probe_candidates(&q, small);
+        prop_assert!(little.len() <= small);
+        prop_assert_eq!(&big[..little.len()], &little[..]);
+        // The base identifiers are never re-proposed as probes.
+        let base = groups.identifiers(&q);
+        for c in &big {
+            prop_assert!(!base.contains(&c.identifier));
+        }
+    }
+
+    /// Layered recall is monotone in the probe budget: against a fixed
+    /// stored partition (no cache-on-miss, so query order is irrelevant),
+    /// a bigger budget checks a superset of candidate buckets, so the
+    /// best containment score can only rise.
+    #[test]
+    fn layered_recall_monotone_in_probes(
+        lo in 0u32..2_000,
+        w in 20u32..200,
+        dl in 0u32..3,
+        dh in 0u32..3,
+        seed in 0u64..16,
+    ) {
+        let stored = RangeSet::interval(lo, lo + w);
+        let query = RangeSet::interval(lo + dl, lo + w + dh);
+        let mut last_recall = -1.0f64;
+        let mut last_matched = false;
+        for budget in [0usize, 4, 16, 64] {
+            let config = SystemConfig::default()
+                .with_seed(seed)
+                .with_placement_mode(PlacementMode::Layered)
+                .with_probes(budget)
+                .with_matching(MatchMeasure::Containment)
+                .with_cache_on_miss(false);
+            let mut net = RangeSelectNetwork::new(48, config);
+            net.store_partition(&stored);
+            let out = net.query(&query);
+            prop_assert!(
+                out.recall >= last_recall,
+                "recall fell from {last_recall} to {} at probe budget {budget}",
+                out.recall
+            );
+            prop_assert!(
+                out.best_match.is_some() || !last_matched,
+                "a match found at a smaller budget vanished at budget {budget}"
+            );
+            last_recall = out.recall;
+            last_matched = out.best_match.is_some();
+        }
+    }
+
+    /// The layered-placement knobs are inert under the default
+    /// `PlacementMode::Independent`: cranking probes, layers, and the
+    /// walk window moves no bit of any outcome or of the final stats.
+    /// (The goldens in `tests/placement_goldens.rs` additionally pin the
+    /// default path to its pre-layered behavior at seeds 0–3.)
+    #[test]
+    fn independent_mode_ignores_layered_knobs(seed in 0u64..8) {
+        let trace: Vec<RangeSet> = (0..24u32)
+            .map(|i| {
+                let lo = (i * 211) % 900;
+                RangeSet::interval(lo, lo + 30 + (i % 3) * 25)
+            })
+            .collect();
+        let mut plain = RangeSelectNetwork::new(32, SystemConfig::default().with_seed(seed));
+        let mut knobbed = RangeSelectNetwork::new(
+            32,
+            SystemConfig::default()
+                .with_seed(seed)
+                .with_probes(32)
+                .with_layers(3)
+                .with_walk_window(8),
+        );
+        for q in &trace {
+            let a = plain.query(q);
+            let b = knobbed.query(q);
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        prop_assert_eq!(format!("{:?}", plain.stats()), format!("{:?}", knobbed.stats()));
+    }
+}
+
 /// The seeds `tests/determinism.rs` pins: hash groups drawn from them must
 /// produce identifiers unchanged by the range-aware evaluation (the oracle
 /// enumerates every value, as the seed revision did).
